@@ -1,0 +1,405 @@
+// Command figures regenerates every figure and numerical claim from the
+// paper's evaluation (and the roadmap experiments it announces), as text
+// tables or CSV.
+//
+// Usage:
+//
+//	figures -fig 1a|1b|1c|stats|switch|load|hotspot|multihomed|coexist|all
+//	        [-scale small|medium|paper] [-flows N] [-seed S] [-csv]
+//
+// Scales:
+//
+//	small  — K=4 FatTree, 64 hosts, 4:1 (default; minutes of wall time)
+//	medium — the paper's 512-host 4:1 FatTree, reduced flow count
+//	paper  — 512 hosts and the paper's 100k short flows (hours)
+//
+// Absolute milliseconds differ from the paper's ns-3 testbed; the shapes
+// (who wins, by how much, where the tails are) are the reproduction
+// target. See EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	mmptcp "repro"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+var (
+	figFlag   = flag.String("fig", "all", "artefact to regenerate: 1a, 1b, 1c, stats, switch, load, hotspot, multihomed, coexist, dupthresh, threshold, dctcp, incast, all")
+	scaleFlag = flag.String("scale", "small", "experiment scale: small, medium, paper")
+	flowsFlag = flag.Int("flows", 0, "override the number of short flows")
+	seedFlag  = flag.Uint64("seed", 1, "random seed")
+	csvFlag   = flag.Bool("csv", false, "emit per-flow CSV instead of tables where applicable")
+)
+
+func main() {
+	flag.Parse()
+	switch *figFlag {
+	case "1a":
+		fig1a()
+	case "1b":
+		fig1bc(mmptcp.ProtoMPTCP, "1b")
+	case "1c":
+		fig1bc(mmptcp.ProtoMMPTCP, "1c")
+	case "stats":
+		stats()
+	case "switch":
+		switching()
+	case "load":
+		load()
+	case "hotspot":
+		hotspot()
+	case "multihomed":
+		multihomed()
+	case "coexist":
+		coexist()
+	case "dupthresh":
+		dupthresh()
+	case "threshold":
+		thresholdSweep()
+	case "dctcp":
+		dctcpBaseline()
+	case "incast":
+		incast()
+	case "all":
+		fig1a()
+		fig1bc(mmptcp.ProtoMPTCP, "1b")
+		fig1bc(mmptcp.ProtoMMPTCP, "1c")
+		stats()
+		switching()
+		load()
+		hotspot()
+		multihomed()
+		coexist()
+		dupthresh()
+		thresholdSweep()
+		dctcpBaseline()
+		incast()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *figFlag)
+		os.Exit(2)
+	}
+}
+
+// baseConfig returns the scale-appropriate configuration.
+func baseConfig(proto mmptcp.Protocol) mmptcp.Config {
+	var cfg mmptcp.Config
+	switch *scaleFlag {
+	case "small":
+		cfg = mmptcp.SmallConfig(proto, 1000)
+	case "medium":
+		cfg = mmptcp.PaperConfig(proto, 2000)
+	case "paper":
+		cfg = mmptcp.PaperConfig(proto, 100_000)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+	if *flowsFlag > 0 {
+		cfg.ShortFlows = *flowsFlag
+	}
+	cfg.Seed = *seedFlag
+	return cfg
+}
+
+func run(cfg mmptcp.Config) *mmptcp.Results {
+	res, err := mmptcp.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return res
+}
+
+// fig1a reproduces Figure 1(a): MPTCP short-flow completion time (mean
+// and standard deviation) versus the number of subflows, 1 through 9.
+func fig1a() {
+	fmt.Println("== Figure 1(a): MPTCP short-flow FCT vs number of subflows ==")
+	fmt.Println("subflows  mean_ms  std_ms   p50_ms   p99_ms   rto_flows  completed")
+	for n := 1; n <= 9; n++ {
+		cfg := baseConfig(mmptcp.ProtoMPTCP)
+		cfg.Subflows = n
+		res := run(cfg)
+		s := res.ShortSummary
+		fmt.Printf("%8d  %7.1f  %7.1f  %7.1f  %7.1f  %9d  %9d\n",
+			n, s.MeanMs, s.StdMs, s.P50Ms, s.P99Ms, s.WithRTO, s.Count)
+	}
+	fmt.Println()
+}
+
+// fig1bc reproduces Figure 1(b) (MPTCP, 8 subflows) or 1(c) (MMPTCP):
+// the per-flow completion-time scatter.
+func fig1bc(proto mmptcp.Protocol, name string) {
+	cfg := baseConfig(proto)
+	res := run(cfg)
+	if *csvFlag {
+		fmt.Printf("# Figure 1(%s): %s per-flow completion times\n", name[1:], proto)
+		fmt.Println("flow_index,fct_ms,timeouts")
+		for i, r := range res.ShortFlows {
+			if !r.Completed {
+				continue
+			}
+			fmt.Printf("%d,%.3f,%d\n", i, r.FCT().Milliseconds(), r.Timeouts)
+		}
+		return
+	}
+	fmt.Printf("== Figure 1(%s): %s (8 subflows) short-flow completion scatter ==\n", name[1:], proto)
+	h := metrics.NewFCTHistogram(50, 100, 200, 500, 1000, 2000, 5000)
+	for _, r := range res.ShortFlows {
+		if r.Completed {
+			h.Observe(r.FCT())
+		}
+	}
+	bounds := []string{"<=50ms", "<=100ms", "<=200ms", "<=500ms", "<=1s", "<=2s", "<=5s", ">5s"}
+	fr := h.Fractions()
+	for i, b := range bounds {
+		fmt.Printf("%8s  %6.2f%%  %s\n", b, fr[i]*100, bar(fr[i]))
+	}
+	fmt.Printf("summary: %v\n\n", res.ShortSummary)
+}
+
+func bar(frac float64) string {
+	n := int(frac * 60)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}
+
+// stats reproduces the §3 numerical claims: mean/std short-flow FCT,
+// per-layer loss rates, long-flow throughput and utilisation for MPTCP
+// vs MMPTCP under the identical workload.
+func stats() {
+	fmt.Println("== §3 statistics: MPTCP (8 subflows) vs MMPTCP (PS + 8 subflows) ==")
+	fmt.Println("proto    mean_ms  std_ms  rto_flows  loss_edge-agg  loss_agg-core  long_tput_mbps  util_agg-core")
+	for _, proto := range []mmptcp.Protocol{mmptcp.ProtoMPTCP, mmptcp.ProtoMMPTCP} {
+		cfg := baseConfig(proto)
+		res := run(cfg)
+		s := res.ShortSummary
+		edge := res.Layers[netem.LayerEdge]
+		agg := res.Layers[netem.LayerAgg]
+		fmt.Printf("%-7s  %7.1f  %6.1f  %9d  %13.5f  %13.5f  %14.2f  %13.3f\n",
+			proto, s.MeanMs, s.StdMs, s.WithRTO, edge.LossRate, agg.LossRate,
+			res.LongThroughputMbps, agg.Utilisation)
+	}
+	fmt.Println()
+}
+
+// switching compares the two §2 phase-switching strategies.
+func switching() {
+	fmt.Println("== §2 ablation: MMPTCP switching strategies ==")
+	fmt.Println("strategy          mean_ms  std_ms  rto_flows  long_tput_mbps  phase_switches")
+	for _, strat := range []core.Strategy{core.SwitchDataVolume, core.SwitchCongestionEvent} {
+		cfg := baseConfig(mmptcp.ProtoMMPTCP)
+		cfg.Strategy = strat
+		res := run(cfg)
+		s := res.ShortSummary
+		fmt.Printf("%-16s  %7.1f  %6.1f  %9d  %14.2f  %14d\n",
+			strat, s.MeanMs, s.StdMs, s.WithRTO, res.LongThroughputMbps, res.PhaseSwitches)
+	}
+	fmt.Println()
+}
+
+// load sweeps the short-flow arrival rate (roadmap: "network loads").
+func load() {
+	fmt.Println("== Roadmap: effect of network load (arrival-rate sweep) ==")
+	fmt.Println("rate_per_sender  proto    mean_ms  std_ms  rto_flows")
+	for _, rate := range []float64{1, 2.5, 5, 10} {
+		for _, proto := range []mmptcp.Protocol{mmptcp.ProtoMPTCP, mmptcp.ProtoMMPTCP} {
+			cfg := baseConfig(proto)
+			cfg.ArrivalRate = rate
+			res := run(cfg)
+			s := res.ShortSummary
+			fmt.Printf("%15.1f  %-7s  %7.1f  %6.1f  %9d\n", rate, proto, s.MeanMs, s.StdMs, s.WithRTO)
+		}
+	}
+	fmt.Println()
+}
+
+// hotspot redirects half the short senders at one host (roadmap:
+// "effect of hotspots").
+func hotspot() {
+	fmt.Println("== Roadmap: hotspot (50% of short senders target host 0) ==")
+	fmt.Println("proto    mean_ms  std_ms  p99_ms   rto_flows")
+	for _, proto := range []mmptcp.Protocol{mmptcp.ProtoMPTCP, mmptcp.ProtoMMPTCP} {
+		cfg := baseConfig(proto)
+		cfg.HotspotFraction = 0.5
+		cfg.HotspotHost = 0
+		res := run(cfg)
+		s := res.ShortSummary
+		fmt.Printf("%-7s  %7.1f  %6.1f  %7.1f  %9d\n", proto, s.MeanMs, s.StdMs, s.P99Ms, s.WithRTO)
+	}
+	fmt.Println()
+}
+
+// multihomed compares the plain FatTree against the dual-homed variant
+// (roadmap: "multi-homed network topologies ... the more parallel paths
+// at the access layer, the higher the burst tolerance").
+func multihomed() {
+	fmt.Println("== Roadmap: single- vs dual-homed FatTree (MMPTCP) ==")
+	fmt.Println("topology    mean_ms  std_ms  p99_ms   rto_flows")
+	for _, topo := range []mmptcp.TopologyKind{mmptcp.TopoFatTree, mmptcp.TopoMultiHomed} {
+		cfg := baseConfig(mmptcp.ProtoMMPTCP)
+		cfg.Topology = topo
+		res := run(cfg)
+		s := res.ShortSummary
+		fmt.Printf("%-10s  %7.1f  %6.1f  %7.1f  %9d\n", topo, s.MeanMs, s.StdMs, s.P99Ms, s.WithRTO)
+	}
+	fmt.Println()
+}
+
+// dupthresh ablates the PS duplicate-ACK threshold policy (§2's two
+// proposed mechanisms plus the standard-threshold strawman).
+func dupthresh() {
+	fmt.Println("== §2 ablation: packet-scatter dup-ACK threshold policy ==")
+	fmt.Println("policy    mean_ms  std_ms  rto_flows  short_retx")
+	for _, mode := range []core.ThresholdMode{
+		core.ThresholdStandard, core.ThresholdTopology, core.ThresholdAdaptive,
+	} {
+		cfg := baseConfig(mmptcp.ProtoMMPTCP)
+		cfg.PSThreshold = mode
+		res := run(cfg)
+		s := res.ShortSummary
+		var retx int64
+		for _, r := range res.ShortFlows {
+			retx += r.Retransmissions
+		}
+		fmt.Printf("%-8s  %7.1f  %6.1f  %9d  %10d\n", mode, s.MeanMs, s.StdMs, s.WithRTO, retx)
+	}
+	fmt.Println()
+}
+
+// thresholdSweep ablates the data-volume switching threshold.
+func thresholdSweep() {
+	fmt.Println("== §2 ablation: data-volume switching threshold ==")
+	fmt.Println("switch_kb  mean_ms  std_ms  rto_flows  long_tput_mbps")
+	for _, kb := range []int64{35, 70, 100, 200, 500} {
+		cfg := baseConfig(mmptcp.ProtoMMPTCP)
+		cfg.SwitchBytes = kb * 1000
+		res := run(cfg)
+		s := res.ShortSummary
+		fmt.Printf("%9d  %7.1f  %6.1f  %9d  %14.2f\n",
+			kb, s.MeanMs, s.StdMs, s.WithRTO, res.LongThroughputMbps)
+	}
+	fmt.Println()
+}
+
+// dctcpBaseline adds the §1 single-path ECN baseline to the comparison.
+func dctcpBaseline() {
+	fmt.Println("== §1 context: DCTCP baseline (needs switch ECN) vs MMPTCP ==")
+	fmt.Println("proto    mean_ms  std_ms  rto_flows  long_tput_mbps  avg_queue_edge")
+	for _, proto := range []mmptcp.Protocol{mmptcp.ProtoTCP, mmptcp.ProtoDCTCP, mmptcp.ProtoMMPTCP} {
+		cfg := baseConfig(proto)
+		res := run(cfg)
+		s := res.ShortSummary
+		fmt.Printf("%-7s  %7.1f  %6.1f  %9d  %14.2f  %14.2f\n",
+			proto, s.MeanMs, s.StdMs, s.WithRTO, res.LongThroughputMbps,
+			res.Layers[netem.LayerEdge].AvgQueue)
+	}
+	fmt.Println()
+}
+
+// incast fires simultaneous 70 KB flows from many senders at one host
+// (§1 objective 3: "tolerance to sudden and high bursts of traffic").
+func incast() {
+	fmt.Println("== §1 objective 3: incast burst tolerance (24 senders -> 1 host) ==")
+	fmt.Println("proto    done    mean_ms  max_ms   timeouts")
+	for _, proto := range []mmptcp.Protocol{mmptcp.ProtoTCP, mmptcp.ProtoMPTCP, mmptcp.ProtoMMPTCP} {
+		eng := sim.NewEngine()
+		cfg := mmptcp.Config{Protocol: proto, Topology: mmptcp.TopoFatTree, K: 4, HostsPerEdge: 8}
+		net, err := mmptcp.NewNetwork(eng, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rng := sim.NewRNG(*seedFlag)
+		const senders = 24
+		var fcts []float64
+		var timeouts int64
+		conns := make([]mmptcp.Conn, 0, senders)
+		for i := 1; i <= senders; i++ {
+			conn, err := mmptcp.Dial(eng, net, cfg, mmptcp.DialConfig{
+				FlowID: uint64(i), Src: i, Dst: 0, Size: 70_000, RNG: rng.Split(),
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			conns = append(conns, conn)
+			start := 10 * sim.Millisecond
+			conn.Receiver().OnComplete = func() {
+				fcts = append(fcts, (eng.Now() - start).Milliseconds())
+			}
+			eng.At(start, conn.Start)
+		}
+		eng.RunUntil(60 * sim.Second)
+		var mean, max float64
+		for _, f := range fcts {
+			mean += f
+			if f > max {
+				max = f
+			}
+		}
+		if len(fcts) > 0 {
+			mean /= float64(len(fcts))
+		}
+		for _, c := range conns {
+			timeouts += c.Stats().Timeouts
+		}
+		fmt.Printf("%-7s  %2d/%-2d  %8.1f  %7.1f  %8d\n",
+			proto, len(fcts), senders, mean, max, timeouts)
+	}
+	fmt.Println()
+}
+
+// coexist shares one dumbbell bottleneck among a TCP flow, an MPTCP
+// connection and an MMPTCP connection (§3: "In-depth investigation of
+// how MMPTCP shares network resources with TCP and MPTCP").
+func coexist() {
+	fmt.Println("== §3: co-existence on a shared 100 Mb/s bottleneck ==")
+	eng := sim.NewEngine()
+	link := topology.DefaultLinkConfig()
+	link.RateBps = 1_000_000_000
+	d := topology.NewDumbbell(eng, topology.DumbbellConfig{
+		HostsPerSide:  3,
+		Link:          link,
+		BottleneckBps: 100_000_000,
+	})
+	rng := sim.NewRNG(*seedFlag)
+	protos := []mmptcp.Protocol{mmptcp.ProtoTCP, mmptcp.ProtoMPTCP, mmptcp.ProtoMMPTCP}
+	conns := make([]mmptcp.Conn, len(protos))
+	for i, proto := range protos {
+		cfg := mmptcp.Config{Protocol: proto, Subflows: 8}
+		conn, err := mmptcp.Dial(eng, &d.Network, cfg, mmptcp.DialConfig{
+			FlowID: uint64(i + 1), Src: i, Dst: d.Cfg.HostsPerSide + i, Size: -1, RNG: rng.Split(),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		conns[i] = conn
+		conn.Start()
+	}
+	const horizon = 10 * sim.Second
+	eng.RunUntil(horizon)
+	fmt.Println("proto    goodput_mbps  share")
+	var total float64
+	goodputs := make([]float64, len(conns))
+	for i, c := range conns {
+		goodputs[i] = float64(c.Receiver().Delivered()) * 8 / horizon.Seconds() / 1e6
+		total += goodputs[i]
+	}
+	for i, proto := range protos {
+		fmt.Printf("%-7s  %12.2f  %5.1f%%\n", proto, goodputs[i], goodputs[i]/total*100)
+	}
+	fmt.Printf("bottleneck utilisation: %.1f%%\n\n",
+		d.BottleneckLR.Stats.Utilisation(horizon)*100)
+}

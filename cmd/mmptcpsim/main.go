@@ -1,0 +1,149 @@
+// Command mmptcpsim runs one experiment of the MMPTCP simulation study
+// with every knob exposed as a flag, and prints a full report: short-flow
+// completion statistics, long-flow throughput, per-layer loss and
+// utilisation. With -perflow it also emits per-flow CSV for plotting.
+//
+// Example (the paper's headline comparison at small scale):
+//
+//	mmptcpsim -proto mptcp  -flows 1000
+//	mmptcpsim -proto mmptcp -flows 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	mmptcp "repro"
+	"repro/internal/core"
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		proto    = flag.String("proto", "mmptcp", "transport: tcp, mptcp, mmptcp")
+		topo     = flag.String("topo", "fattree", "topology: fattree, multihomed, dumbbell")
+		k        = flag.Int("k", 4, "FatTree arity")
+		hpe      = flag.Int("hosts-per-edge", 8, "hosts per edge switch (oversubscription = 2*hpe/k)")
+		rateBps  = flag.Int64("link-rate", 100_000_000, "link rate, bits/s")
+		delayUs  = flag.Int64("link-delay-us", 20, "per-link propagation delay, microseconds")
+		queue    = flag.Int("queue", 30, "per-port queue limit, packets")
+		subflows = flag.Int("subflows", 8, "MPTCP/MMPTCP subflows")
+		strategy = flag.String("switch-strategy", "data-volume", "MMPTCP switching: data-volume, congestion-event")
+		psThresh = flag.String("ps-threshold", "topology", "MMPTCP PS dup-ACK policy: topology, adaptive, standard")
+		switchKB = flag.Int64("switch-kb", 100, "MMPTCP data-volume threshold, KB")
+		flows    = flag.Int("flows", 1000, "number of short flows")
+		flowKB   = flag.Int64("flow-kb", 70, "short-flow size, KB")
+		rate     = flag.Float64("arrival-rate", 2.5, "short flows per second per sender")
+		longFrac = flag.Float64("long-fraction", 1.0/3, "fraction of hosts running long flows (negative: none)")
+		hotFrac  = flag.Float64("hotspot-fraction", 0, "fraction of short senders redirected to the hotspot host")
+		hotHost  = flag.Int("hotspot-host", 0, "hotspot destination host")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		maxSimS  = flag.Float64("max-sim-seconds", 300, "virtual-time safety cap")
+		perflow  = flag.Bool("perflow", false, "emit per-flow CSV to stdout")
+		quiet    = flag.Bool("q", false, "suppress the report (useful with -perflow)")
+	)
+	flag.Parse()
+
+	cfg := mmptcp.Config{
+		Topology:        mmptcp.TopologyKind(*topo),
+		K:               *k,
+		HostsPerEdge:    *hpe,
+		LinkRateBps:     *rateBps,
+		LinkDelay:       sim.Time(*delayUs) * sim.Microsecond,
+		QueueLimit:      *queue,
+		Protocol:        mmptcp.Protocol(*proto),
+		Subflows:        *subflows,
+		SwitchBytes:     *switchKB * 1000,
+		ShortFlowSize:   *flowKB * 1000,
+		ShortFlows:      *flows,
+		ArrivalRate:     *rate,
+		LongFraction:    *longFrac,
+		HotspotFraction: *hotFrac,
+		HotspotHost:     *hotHost,
+		Seed:            *seed,
+		MaxSimTime:      sim.FromSeconds(*maxSimS),
+	}
+	switch *strategy {
+	case "data-volume":
+		cfg.Strategy = core.SwitchDataVolume
+	case "congestion-event":
+		cfg.Strategy = core.SwitchCongestionEvent
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -switch-strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+	switch *psThresh {
+	case "topology":
+		cfg.PSThreshold = core.ThresholdTopology
+	case "adaptive":
+		cfg.PSThreshold = core.ThresholdAdaptive
+	case "standard":
+		cfg.PSThreshold = core.ThresholdStandard
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -ps-threshold %q\n", *psThresh)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	res, err := mmptcp.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	wall := time.Since(start)
+
+	if !*quiet {
+		report(res, wall)
+	}
+	if *perflow {
+		fmt.Println("flow_index,src,dst,start_ms,fct_ms,timeouts,fast_retx,retx,completed")
+		for i, r := range res.ShortFlows {
+			fmt.Printf("%d,%d,%d,%.3f,%.3f,%d,%d,%d,%t\n",
+				i, r.Src, r.Dst, r.Start.Milliseconds(), r.FCT().Milliseconds(),
+				r.Timeouts, r.FastRetransmits, r.Retransmissions, r.Completed)
+		}
+	}
+}
+
+func report(res *mmptcp.Results, wall time.Duration) {
+	cfg := res.Config
+	fmt.Printf("protocol=%s topology=%s(k=%d,hosts/edge=%d) queue=%d seed=%d\n",
+		cfg.Protocol, cfg.Topology, cfg.K, cfg.HostsPerEdge, cfg.QueueLimit, cfg.Seed)
+	fmt.Printf("simulated %v in %v wall (%d events, %.1fM events/s)\n",
+		res.Elapsed, wall.Round(time.Millisecond), res.Events,
+		float64(res.Events)/wall.Seconds()/1e6)
+	fmt.Printf("\nshort flows (%d spawned):\n  %v\n", res.Spawned, res.ShortSummary)
+	fmt.Printf("  deadline (%v) miss rate: %.1f%%\n", res.Config.Deadline, res.DeadlineMissRate*100)
+
+	// FCT distribution sketch.
+	var fcts []float64
+	for _, r := range res.ShortFlows {
+		if r.Completed {
+			fcts = append(fcts, r.FCT().Milliseconds())
+		}
+	}
+	sort.Float64s(fcts)
+	if len(fcts) > 0 {
+		fmt.Printf("  fct quartiles: %.1f / %.1f / %.1f ms\n",
+			fcts[len(fcts)/4], fcts[len(fcts)/2], fcts[3*len(fcts)/4])
+	}
+
+	fmt.Printf("\nlong flows (%d):\n  mean goodput %.2f Mb/s\n", len(res.LongFlows), res.LongThroughputMbps)
+	if cfg.Protocol == mmptcp.ProtoMMPTCP {
+		fmt.Printf("  phase switches: %d\n", res.PhaseSwitches)
+	}
+
+	fmt.Println("\nper-layer (link direction classes):")
+	for _, layer := range []netem.Layer{netem.LayerHost, netem.LayerEdge, netem.LayerAgg, netem.LayerCore} {
+		ls, ok := res.Layers[layer]
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %-4s  links=%-4d loss=%.5f util=%.3f max_queue=%d\n",
+			layer, ls.Links, ls.LossRate, ls.Utilisation, ls.MaxQueue)
+	}
+}

@@ -1,0 +1,131 @@
+package mmptcp
+
+import (
+	"repro/internal/core"
+	"repro/internal/dctcp"
+	"repro/internal/mptcp"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/topology"
+)
+
+// Conn is the protocol-independent view of one simulated connection that
+// the experiment runner drives. All three protocols (TCP, MPTCP,
+// MMPTCP) are adapted to it.
+type Conn interface {
+	// Start begins transmission.
+	Start()
+	// Receiver returns the receive endpoint (completion, delivered bytes).
+	Receiver() *tcp.Receiver
+	// Stats aggregates sender-side statistics across subflows/phases.
+	Stats() tcp.SenderStats
+	// SetOnAllAcked registers the sender-side completion callback.
+	SetOnAllAcked(func())
+	// Close releases endpoints and timers.
+	Close()
+}
+
+// DialConfig identifies one flow for Dial.
+type DialConfig struct {
+	FlowID uint64
+	Src    int
+	Dst    int
+	Size   int64 // -1 for unbounded
+	RNG    *sim.RNG
+}
+
+// Dial creates a connection of the configured protocol between two hosts
+// of the network. It is exported so examples and tools can drive single
+// flows without the full experiment harness.
+func Dial(eng *sim.Engine, net *topology.Network, cfg Config, d DialConfig) (Conn, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	src, dst := net.Hosts[d.Src], net.Hosts[d.Dst]
+	switch cfg.Protocol {
+	case ProtoTCP, ProtoDCTCP:
+		rcv := tcp.NewReceiver(eng, cfg.TCP, dst, d.FlowID, d.Size)
+		opt := tcp.SenderOptions{
+			Host:       src,
+			Dst:        dst.ID(),
+			FlowID:     d.FlowID,
+			SrcPort:    uint16(10000 + d.RNG.Intn(50000)),
+			DstPort:    80,
+			Source:     &tcp.BytesSource{Size: d.Size},
+			EnableSACK: cfg.SACK,
+		}
+		if cfg.Protocol == ProtoDCTCP {
+			opt.CC = &dctcp.CC{}
+		}
+		snd := tcp.NewSender(eng, cfg.TCP, opt)
+		return &tcpConn{snd: snd, rcv: rcv}, nil
+	case ProtoMPTCP:
+		conn := mptcp.Dial(eng, mptcp.Config{TCP: cfg.TCP, Subflows: cfg.Subflows, SACK: cfg.SACK}, mptcp.Options{
+			SrcHost: src,
+			DstHost: dst,
+			FlowID:  d.FlowID,
+			Size:    d.Size,
+			RNG:     d.RNG,
+		})
+		return &mptcpConn{conn}, nil
+	case ProtoMMPTCP:
+		conn := core.Dial(eng, core.Config{
+			TCP:         cfg.TCP,
+			Subflows:    cfg.Subflows,
+			Strategy:    cfg.Strategy,
+			SwitchBytes: cfg.SwitchBytes,
+			Threshold:   cfg.PSThreshold,
+			SACK:        cfg.SACK,
+		}, core.Options{
+			SrcHost:   src,
+			DstHost:   dst,
+			FlowID:    d.FlowID,
+			Size:      d.Size,
+			PathCount: net.PathCount(netem.NodeID(d.Src), netem.NodeID(d.Dst)),
+			RNG:       d.RNG,
+		})
+		return &mmptcpConn{conn}, nil
+	}
+	panic("unreachable")
+}
+
+type tcpConn struct {
+	snd *tcp.Sender
+	rcv *tcp.Receiver
+}
+
+func (c *tcpConn) Start()                  { c.snd.Start() }
+func (c *tcpConn) Receiver() *tcp.Receiver { return c.rcv }
+func (c *tcpConn) Stats() tcp.SenderStats  { return c.snd.Stats }
+func (c *tcpConn) SetOnAllAcked(fn func()) { c.snd.OnAllAcked = fn }
+func (c *tcpConn) Close() {
+	c.snd.Close()
+	c.rcv.Close()
+}
+
+type mptcpConn struct{ conn *mptcp.Connection }
+
+func (c *mptcpConn) Start()                  { c.conn.Start() }
+func (c *mptcpConn) Receiver() *tcp.Receiver { return c.conn.Receiver() }
+func (c *mptcpConn) Stats() tcp.SenderStats  { return c.conn.Stats() }
+func (c *mptcpConn) SetOnAllAcked(fn func()) { c.conn.OnAllAcked = fn }
+func (c *mptcpConn) Close()                  { c.conn.Close() }
+
+type mmptcpConn struct{ conn *core.Conn }
+
+func (c *mmptcpConn) Start()                  { c.conn.Start() }
+func (c *mmptcpConn) Receiver() *tcp.Receiver { return c.conn.Receiver() }
+func (c *mmptcpConn) Stats() tcp.SenderStats  { return c.conn.Stats() }
+func (c *mmptcpConn) SetOnAllAcked(fn func()) { c.conn.OnAllAcked = fn }
+func (c *mmptcpConn) Close()                  { c.conn.Close() }
+
+// MMPTCPConn exposes the phase-level API of an MMPTCP connection dialed
+// through Dial (switch time, PS sender), for examples and ablations.
+func MMPTCPConn(c Conn) (*core.Conn, bool) {
+	mc, ok := c.(*mmptcpConn)
+	if !ok {
+		return nil, false
+	}
+	return mc.conn, true
+}

@@ -1,0 +1,77 @@
+package mmptcp
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Aliases re-export the handful of internal types that appear in the
+// public API, so downstream users can drive custom scenarios (single
+// flows via Dial, hand-built workloads) without importing internal
+// packages.
+type (
+	// Engine is the discrete-event simulation engine.
+	Engine = sim.Engine
+	// RNG is the deterministic random number generator.
+	RNG = sim.RNG
+	// SimTime is a point in virtual time (nanoseconds).
+	SimTime = sim.Time
+	// Network is a built topology (hosts, switches, links).
+	Network = topology.Network
+	// FlowRecord is one flow's measured outcome.
+	FlowRecord = metrics.FlowRecord
+	// Summary is aggregate FCT statistics.
+	Summary = metrics.Summary
+	// Assignment is a workload role/partner assignment.
+	Assignment = workload.Assignment
+	// IncastBurst schedules an n-to-1 burst of flows.
+	IncastBurst = workload.Incast
+	// Sampler records time series (cwnd, RTT, queue depth) from a
+	// running simulation.
+	Sampler = trace.Sampler
+)
+
+// Virtual-time units for use with SimTime.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// NewEngine returns a fresh simulation engine with the clock at zero.
+func NewEngine() *Engine { return sim.NewEngine() }
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed uint64) *RNG { return sim.NewRNG(seed) }
+
+// NewSampler creates a time-series sampler on the engine.
+func NewSampler(eng *Engine, interval SimTime) *Sampler {
+	return trace.NewSampler(eng, interval)
+}
+
+// NewNetwork builds the topology described by cfg on the engine.
+func NewNetwork(eng *Engine, cfg Config) (*Network, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	return cfg.buildNetwork(eng)
+}
+
+// PathCount returns the number of equal-cost paths between two hosts of
+// a built network (the oracle MMPTCP's packet-scatter phase uses for its
+// duplicate-ACK threshold).
+func PathCount(net *Network, src, dst int) int {
+	return net.PathCount(netem.NodeID(src), netem.NodeID(dst))
+}
+
+// BuildPermutation draws the paper's permutation traffic matrix over the
+// network's hosts: a derangement of destinations with longFraction of
+// hosts designated long-flow senders.
+func BuildPermutation(rng *RNG, hosts int, longFraction float64) Assignment {
+	return workload.BuildPermutation(rng, hosts, longFraction)
+}

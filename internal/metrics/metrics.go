@@ -1,0 +1,286 @@
+// Package metrics collects and summarises the measurements the paper
+// reports: per-flow completion times (mean, standard deviation,
+// percentiles, the fraction of connections suffering at least one RTO),
+// per-layer packet loss rates, long-flow throughput and link utilisation.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// FlowClass distinguishes the paper's two traffic classes.
+type FlowClass int
+
+// Flow classes.
+const (
+	ShortFlow FlowClass = iota // latency-sensitive, 70 KB in the paper
+	LongFlow                   // bandwidth-hungry background flows
+)
+
+// String names the class.
+func (c FlowClass) String() string {
+	if c == ShortFlow {
+		return "short"
+	}
+	return "long"
+}
+
+// FlowRecord is the outcome of one flow.
+type FlowRecord struct {
+	ID        uint64
+	Src, Dst  netem.NodeID
+	Class     FlowClass
+	Proto     string
+	Size      int64    // bytes (-1 for unbounded long flows)
+	Start     sim.Time // when the flow was initiated
+	End       sim.Time // receiver-side completion (0 if incomplete)
+	Completed bool
+
+	Delivered int64 // data bytes received (for throughput of long flows)
+
+	Timeouts        int64 // RTOs experienced by the connection
+	FastRetransmits int64
+	Retransmissions int64
+	SegmentsSent    int64
+}
+
+// FCT returns the flow completion time (0 for incomplete flows).
+func (r FlowRecord) FCT() sim.Time {
+	if !r.Completed {
+		return 0
+	}
+	return r.End - r.Start
+}
+
+// ThroughputMbps returns the flow's goodput in Mb/s over [Start, until].
+func (r FlowRecord) ThroughputMbps(until sim.Time) float64 {
+	d := until - r.Start
+	if d <= 0 {
+		return 0
+	}
+	return float64(r.Delivered) * 8 / d.Seconds() / 1e6
+}
+
+// Collector accumulates flow records for one experiment run.
+type Collector struct {
+	flows []FlowRecord
+}
+
+// Record appends a flow outcome.
+func (c *Collector) Record(r FlowRecord) { c.flows = append(c.flows, r) }
+
+// Flows returns every recorded flow.
+func (c *Collector) Flows() []FlowRecord { return c.flows }
+
+// ByClass returns the records of one class.
+func (c *Collector) ByClass(class FlowClass) []FlowRecord {
+	var out []FlowRecord
+	for _, f := range c.flows {
+		if f.Class == class {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Summary are the aggregate FCT statistics the paper quotes (e.g. "116
+// milliseconds (standard deviation is 101)" for MMPTCP vs "126 (425)"
+// for MPTCP).
+type Summary struct {
+	Count      int     // completed flows
+	Incomplete int     // flows that never finished
+	MeanMs     float64 // mean FCT, milliseconds
+	StdMs      float64 // standard deviation of FCT
+	MinMs      float64
+	P50Ms      float64
+	P95Ms      float64
+	P99Ms      float64
+	MaxMs      float64
+	// WithRTO is the number of completed flows that experienced at
+	// least one retransmission timeout; Figure 1(a)'s growing standard
+	// deviation is driven by this count.
+	WithRTO int
+}
+
+// DeadlineMissRate returns the fraction of flows that failed to finish
+// within the deadline (incomplete flows count as misses). The paper's
+// §1 motivation: "short TCP flows missing their deadlines mainly due to
+// retransmission timeouts", and "even a single RTO may result in flow
+// deadline violation".
+func DeadlineMissRate(recs []FlowRecord, deadline sim.Time) float64 {
+	if len(recs) == 0 {
+		return 0
+	}
+	missed := 0
+	for _, r := range recs {
+		if !r.Completed || r.FCT() > deadline {
+			missed++
+		}
+	}
+	return float64(missed) / float64(len(recs))
+}
+
+// Summarize computes FCT statistics over the completed flows in recs.
+func Summarize(recs []FlowRecord) Summary {
+	var s Summary
+	var fcts []float64
+	for _, r := range recs {
+		if !r.Completed {
+			s.Incomplete++
+			continue
+		}
+		s.Count++
+		fcts = append(fcts, r.FCT().Milliseconds())
+		if r.Timeouts > 0 {
+			s.WithRTO++
+		}
+	}
+	if len(fcts) == 0 {
+		return s
+	}
+	sort.Float64s(fcts)
+	var sum float64
+	for _, v := range fcts {
+		sum += v
+	}
+	s.MeanMs = sum / float64(len(fcts))
+	var sq float64
+	for _, v := range fcts {
+		d := v - s.MeanMs
+		sq += d * d
+	}
+	s.StdMs = math.Sqrt(sq / float64(len(fcts)))
+	s.MinMs = fcts[0]
+	s.MaxMs = fcts[len(fcts)-1]
+	s.P50Ms = percentile(fcts, 0.50)
+	s.P95Ms = percentile(fcts, 0.95)
+	s.P99Ms = percentile(fcts, 0.99)
+	return s
+}
+
+// percentile interpolates the p-quantile of sorted values.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1fms std=%.1fms p50=%.1f p95=%.1f p99=%.1f max=%.1f rto-flows=%d incomplete=%d",
+		s.Count, s.MeanMs, s.StdMs, s.P50Ms, s.P95Ms, s.P99Ms, s.MaxMs, s.WithRTO, s.Incomplete)
+}
+
+// LayerStats aggregates link counters at one topology layer.
+type LayerStats struct {
+	Links       int
+	TxPackets   int64
+	Drops       int64
+	LossRate    float64 // drops / (drops + enqueued)
+	Utilisation float64 // mean busy fraction across links
+	MaxQueue    int
+	AvgQueue    float64 // time-averaged occupancy, packets, mean across links
+}
+
+// LayerReport computes per-layer loss and utilisation over the links,
+// for an observation window of length elapsed. The paper's §3 compares
+// "the average loss rate at the core and aggregation layers".
+func LayerReport(links []*netem.Link, elapsed sim.Time) map[netem.Layer]LayerStats {
+	out := make(map[netem.Layer]LayerStats)
+	type acc struct {
+		enq, drops, tx int64
+		util, avgQ     float64
+		links          int
+		maxQ           int
+	}
+	accs := make(map[netem.Layer]*acc)
+	for _, l := range links {
+		a := accs[l.Layer()]
+		if a == nil {
+			a = &acc{}
+			accs[l.Layer()] = a
+		}
+		a.links++
+		a.enq += l.Stats.Enqueued
+		a.drops += l.Stats.Drops
+		a.tx += l.Stats.TxPackets
+		a.util += l.Stats.Utilisation(elapsed)
+		a.avgQ += l.Stats.AvgQueue(elapsed)
+		if l.Stats.MaxQueue > a.maxQ {
+			a.maxQ = l.Stats.MaxQueue
+		}
+	}
+	for layer, a := range accs {
+		ls := LayerStats{
+			Links:     a.links,
+			TxPackets: a.tx,
+			Drops:     a.drops,
+			MaxQueue:  a.maxQ,
+		}
+		if offered := a.enq + a.drops; offered > 0 {
+			ls.LossRate = float64(a.drops) / float64(offered)
+		}
+		if a.links > 0 {
+			ls.Utilisation = a.util / float64(a.links)
+			ls.AvgQueue = a.avgQ / float64(a.links)
+		}
+		out[layer] = ls
+	}
+	return out
+}
+
+// Histogram buckets FCTs for a text rendering of the paper's scatter
+// plots (Figures 1(b) and 1(c)).
+type Histogram struct {
+	BoundsMs []float64 // upper bounds; one extra overflow bucket
+	Counts   []int
+}
+
+// NewFCTHistogram builds a histogram with the given millisecond bounds.
+func NewFCTHistogram(boundsMs ...float64) *Histogram {
+	return &Histogram{BoundsMs: boundsMs, Counts: make([]int, len(boundsMs)+1)}
+}
+
+// Observe adds one completed flow.
+func (h *Histogram) Observe(fct sim.Time) {
+	ms := fct.Milliseconds()
+	for i, b := range h.BoundsMs {
+		if ms <= b {
+			h.Counts[i]++
+			return
+		}
+	}
+	h.Counts[len(h.Counts)-1]++
+}
+
+// Fractions returns each bucket's share of the total.
+func (h *Histogram) Fractions() []float64 {
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	out := make([]float64, len(h.Counts))
+	if total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(total)
+	}
+	return out
+}

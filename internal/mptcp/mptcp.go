@@ -1,0 +1,236 @@
+// Package mptcp implements Multipath TCP over the simulated network: a
+// connection opens N subflows with independently randomised source ports
+// (so hash-based ECMP places them on distinct paths), distributes
+// connection-level data across subflows on demand, and couples their
+// congestion-avoidance growth with the Linked Increases Algorithm (LIA,
+// RFC 6356) — the model the paper evaluates against (its custom ns-3
+// MPTCP, reference [5] in the paper).
+//
+// Allocation is pull-based and permanent: a subflow with window space
+// requests the next chunk of data-level sequence space and then owns it,
+// including retransmissions. A connection-level receiver (tcp.Receiver)
+// acknowledges each subflow cumulatively and tracks data-level delivery.
+// This reproduces the failure mode at the heart of the paper's Figure 1:
+// with many subflows, each congestion window is tiny, a single loss
+// often cannot gather three duplicate ACKs, and the whole connection
+// stalls on that subflow's RTO.
+package mptcp
+
+import (
+	"fmt"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// Config parametrises an MPTCP connection.
+type Config struct {
+	TCP      tcp.Config
+	Subflows int // number of subflows; default 8 (the paper's headline setting)
+	// JoinDelay staggers the start of subflows after the first; 0 opens
+	// all subflows at connection establishment, as the paper's ns-3
+	// model does.
+	JoinDelay sim.Time
+	// Uncoupled replaces LIA with independent Reno per subflow (an
+	// ablation knob; the paper's MPTCP is coupled).
+	Uncoupled bool
+	// SACK enables selective-acknowledgement recovery on every subflow
+	// (ablation: the paper's era modelled NewReno).
+	SACK bool
+}
+
+// DefaultConfig returns the paper's MPTCP configuration: 8 subflows, LIA.
+func DefaultConfig() Config {
+	return Config{TCP: tcp.DefaultConfig(), Subflows: 8}
+}
+
+func (c *Config) applyDefaults() {
+	if c.Subflows == 0 {
+		c.Subflows = 8
+	}
+}
+
+// Options identifies a connection's endpoints and data range.
+type Options struct {
+	SrcHost *netem.Host
+	DstHost *netem.Host
+	FlowID  uint64
+	// Size is the total connection bytes (-1 for an unbounded
+	// background flow).
+	Size int64
+	// DataStart offsets the first data-level byte this connection is
+	// responsible for. Plain MPTCP uses 0; MMPTCP hands over the bytes
+	// remaining after its packet-scatter phase.
+	DataStart int64
+	// SubflowBase numbers the first subflow. Plain MPTCP uses 0;
+	// MMPTCP reserves subflow 0 for the packet-scatter flow.
+	SubflowBase int8
+	// DstPort is the destination port (default 80); source ports are
+	// drawn from RNG per subflow.
+	DstPort uint16
+	// RNG seeds subflow source-port randomisation. Required.
+	RNG *sim.RNG
+	// Receiver, when non-nil, is shared with a pre-existing receive
+	// endpoint (MMPTCP's, which also serves the packet-scatter flow).
+	// When nil, the connection creates its own tcp.Receiver.
+	Receiver *tcp.Receiver
+}
+
+// Connection is the sender side of an MPTCP connection plus its
+// (possibly shared) receiver.
+type Connection struct {
+	eng *sim.Engine
+	cfg Config
+
+	flowID   uint64
+	subflows []*tcp.Sender
+	rcv      *tcp.Receiver
+	ownRcv   bool
+
+	// Data-level allocation pool [next, end); end == -1 is unbounded.
+	next int64
+	end  int64
+
+	doneSubflows int
+
+	// OnAllAcked fires once when every subflow has delivered and had
+	// acknowledged all data allocated to it.
+	OnAllAcked func()
+}
+
+// Dial creates the connection: a receiver on the destination host
+// (unless shared) and cfg.Subflows senders on the source host. Subflows
+// are idle until Start.
+func Dial(eng *sim.Engine, cfg Config, opt Options) *Connection {
+	cfg.applyDefaults()
+	if opt.RNG == nil {
+		panic("mptcp: Options.RNG is required")
+	}
+	if opt.DstPort == 0 {
+		opt.DstPort = 80
+	}
+	c := &Connection{
+		eng:    eng,
+		cfg:    cfg,
+		flowID: opt.FlowID,
+		next:   opt.DataStart,
+		end:    -1,
+	}
+	if opt.Size >= 0 {
+		c.end = opt.Size
+		if c.end < c.next {
+			panic(fmt.Sprintf("mptcp: DataStart %d beyond Size %d", opt.DataStart, opt.Size))
+		}
+	}
+	c.rcv = opt.Receiver
+	if c.rcv == nil {
+		c.rcv = tcp.NewReceiver(eng, cfg.TCP, opt.DstHost, opt.FlowID, opt.Size)
+		c.ownRcv = true
+	}
+
+	var cc tcp.CongestionControl
+	if cfg.Uncoupled {
+		cc = tcp.RenoCC{}
+	} else {
+		cc = &liaCC{conn: c}
+	}
+	// On multi-homed hosts, spread subflows round-robin across the
+	// interfaces (the paper's roadmap: more parallel paths at the
+	// access layer).
+	ifaces := len(opt.SrcHost.Uplinks())
+	if ifaces == 0 {
+		ifaces = 1
+	}
+	for i := 0; i < cfg.Subflows; i++ {
+		sub := tcp.NewSender(eng, cfg.TCP, tcp.SenderOptions{
+			Host:       opt.SrcHost,
+			Iface:      i % ifaces,
+			Dst:        opt.DstHost.ID(),
+			FlowID:     opt.FlowID,
+			Subflow:    opt.SubflowBase + int8(i),
+			SrcPort:    uint16(10000 + opt.RNG.Intn(50000)),
+			DstPort:    opt.DstPort,
+			Source:     &subflowSource{conn: c},
+			CC:         cc,
+			EnableSACK: cfg.SACK,
+		})
+		sub.OnAllAcked = c.subflowDone
+		c.subflows = append(c.subflows, sub)
+	}
+	return c
+}
+
+// Start opens all subflows (staggered by JoinDelay if configured).
+func (c *Connection) Start() {
+	for i, sub := range c.subflows {
+		if i == 0 || c.cfg.JoinDelay == 0 {
+			sub.Start()
+			continue
+		}
+		sub := sub
+		c.eng.Schedule(sim.Time(i)*c.cfg.JoinDelay, sub.Start)
+	}
+}
+
+// Receiver returns the connection's receive endpoint.
+func (c *Connection) Receiver() *tcp.Receiver { return c.rcv }
+
+// Subflows returns the subflow senders (read-only use).
+func (c *Connection) Subflows() []*tcp.Sender { return c.subflows }
+
+// Stats aggregates sender statistics across subflows.
+func (c *Connection) Stats() tcp.SenderStats {
+	var agg tcp.SenderStats
+	for _, s := range c.subflows {
+		st := s.Stats
+		agg.SegmentsSent += st.SegmentsSent
+		agg.BytesSent += st.BytesSent
+		agg.Retransmissions += st.Retransmissions
+		agg.FastRetransmits += st.FastRetransmits
+		agg.Timeouts += st.Timeouts
+		agg.AcksReceived += st.AcksReceived
+		agg.DupAcksReceived += st.DupAcksReceived
+	}
+	return agg
+}
+
+// allocate grants up to maxBytes from the connection pool.
+func (c *Connection) allocate(maxBytes int) (int64, int, bool) {
+	if c.end >= 0 && c.next >= c.end {
+		return c.next, 0, true
+	}
+	n := int64(maxBytes)
+	if c.end >= 0 && c.next+n > c.end {
+		n = c.end - c.next
+	}
+	seq := c.next
+	c.next += n
+	return seq, int(n), c.end >= 0 && c.next >= c.end
+}
+
+func (c *Connection) subflowDone() {
+	c.doneSubflows++
+	if c.doneSubflows == len(c.subflows) && c.OnAllAcked != nil {
+		c.OnAllAcked()
+	}
+}
+
+// Close tears down every subflow and the owned receiver.
+func (c *Connection) Close() {
+	for _, s := range c.subflows {
+		s.Close()
+	}
+	if c.ownRcv {
+		c.rcv.Close()
+	}
+}
+
+// subflowSource adapts the connection pool to the tcp.DataSource pulled
+// by one subflow.
+type subflowSource struct{ conn *Connection }
+
+// Next implements tcp.DataSource.
+func (s *subflowSource) Next(maxBytes int) (int64, int, bool) {
+	return s.conn.allocate(maxBytes)
+}

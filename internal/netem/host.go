@@ -1,0 +1,115 @@
+package netem
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Endpoint is the interface implemented by transport endpoints (TCP
+// senders and receivers, MPTCP subflows, MMPTCP packet-scatter flows).
+// A host demultiplexes each received packet to the endpoint registered
+// under the packet's (FlowID, Subflow) pair.
+type Endpoint interface {
+	HandlePacket(p *Packet)
+}
+
+type endpointKey struct {
+	flow uint64
+	sub  int8
+}
+
+// Host is an end system: it terminates one or more access links (more
+// than one on multi-homed topologies) and demultiplexes packets to the
+// transport endpoints registered on it.
+type Host struct {
+	id        NodeID
+	eng       *sim.Engine
+	uplinks   []*Link
+	endpoints map[endpointKey]Endpoint
+
+	// Stats
+	RxPackets int64
+	RxBytes   int64
+	TxPackets int64
+	Unclaimed int64 // packets with no registered endpoint (late/stale)
+}
+
+// NewHost creates a host with the given identifier. Uplinks are attached
+// by the topology builder via AttachUplink.
+func NewHost(eng *sim.Engine, id NodeID) *Host {
+	return &Host{
+		id:        id,
+		eng:       eng,
+		endpoints: make(map[endpointKey]Endpoint),
+	}
+}
+
+// ID returns the host's node identifier.
+func (h *Host) ID() NodeID { return h.id }
+
+// Engine returns the simulation engine the host runs on.
+func (h *Host) Engine() *sim.Engine { return h.eng }
+
+// AttachUplink adds an access link whose source is this host. The first
+// attached uplink is the default interface.
+func (h *Host) AttachUplink(l *Link) {
+	if l.Src() != Node(h) {
+		panic("netem: uplink source is not this host")
+	}
+	h.uplinks = append(h.uplinks, l)
+}
+
+// Uplinks returns the host's access links (length > 1 only on
+// multi-homed topologies).
+func (h *Host) Uplinks() []*Link { return h.uplinks }
+
+// Register binds an endpoint to (flowID, subflow) so that packets
+// addressed to it are delivered. Registering over an existing binding
+// panics: endpoint identifiers must be unique by construction.
+func (h *Host) Register(flowID uint64, subflow int8, ep Endpoint) {
+	k := endpointKey{flowID, subflow}
+	if _, dup := h.endpoints[k]; dup {
+		panic(fmt.Sprintf("netem: duplicate endpoint registration flow=%d sub=%d on host %d", flowID, subflow, h.id))
+	}
+	h.endpoints[k] = ep
+}
+
+// Unregister removes the binding for (flowID, subflow), if present.
+func (h *Host) Unregister(flowID uint64, subflow int8) {
+	delete(h.endpoints, endpointKey{flowID, subflow})
+}
+
+// Send transmits a packet out of the host's default interface.
+func (h *Host) Send(p *Packet) { h.SendOn(p, 0) }
+
+// SendOn transmits a packet out of interface iface (for multi-homed
+// hosts). An out-of-range interface panics: callers choose interfaces
+// from Uplinks and a mismatch is a programming error.
+func (h *Host) SendOn(p *Packet, iface int) {
+	if iface < 0 || iface >= len(h.uplinks) {
+		panic(fmt.Sprintf("netem: host %d has no interface %d", h.id, iface))
+	}
+	h.TxPackets++
+	h.uplinks[iface].Enqueue(p)
+}
+
+// Receive implements Node: it demultiplexes the packet to the endpoint
+// registered under its (FlowID, Subflow) pair. Packets for unknown
+// endpoints are counted and discarded, which is what happens to segments
+// that arrive after a connection has been torn down.
+func (h *Host) Receive(p *Packet, from *Link) {
+	h.RxPackets++
+	h.RxBytes += int64(p.Size)
+	if ep, ok := h.endpoints[endpointKey{p.FlowID, p.Subflow}]; ok {
+		ep.HandlePacket(p)
+		return
+	}
+	// Fall back to the connection-level endpoint (subflow -1), used by
+	// receivers that accept every subflow of a connection.
+	if ep, ok := h.endpoints[endpointKey{p.FlowID, -1}]; ok {
+		ep.HandlePacket(p)
+		return
+	}
+	h.Unclaimed++
+}

@@ -1,0 +1,223 @@
+package netem
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Layer classifies where in the topology a link sits, for per-layer loss
+// accounting (the paper reports loss rates at the core and aggregation
+// layers separately).
+type Layer uint8
+
+// Link layers, named from the perspective of the data-centre hierarchy.
+const (
+	LayerHost Layer = iota // host NIC -> edge switch (and reverse)
+	LayerEdge              // edge <-> aggregation
+	LayerAgg               // aggregation <-> core
+	LayerCore              // core (only used by exotic topologies)
+)
+
+// String returns the conventional name of the layer.
+func (l Layer) String() string {
+	switch l {
+	case LayerHost:
+		return "host"
+	case LayerEdge:
+		return "edge"
+	case LayerAgg:
+		return "agg"
+	case LayerCore:
+		return "core"
+	}
+	return fmt.Sprintf("layer(%d)", uint8(l))
+}
+
+// Node is anything that can terminate a link: a Host or a Switch.
+type Node interface {
+	ID() NodeID
+	// Receive is invoked by a link when a packet finishes propagating.
+	Receive(pkt *Packet, from *Link)
+}
+
+// LinkStats accumulates per-link counters used by the measurement layer.
+type LinkStats struct {
+	TxPackets int64    // packets fully serialised onto the wire
+	TxBytes   int64    // bytes fully serialised onto the wire
+	Enqueued  int64    // packets accepted into the queue or transmitter
+	Drops     int64    // packets dropped at enqueue (queue full)
+	DropBytes int64    // bytes dropped
+	BusyTime  sim.Time // cumulative serialisation time (for utilisation)
+	MaxQueue  int      // high-water mark of queue length (packets)
+
+	// QueueIntegral accumulates queue length x time (packet·ns), for
+	// time-averaged occupancy; lastQChange is internal bookkeeping.
+	QueueIntegral int64
+	lastQChange   sim.Time
+}
+
+// AvgQueue returns the time-averaged queue length in packets over the
+// interval [0, elapsed].
+func (s *LinkStats) AvgQueue(elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(s.QueueIntegral) / float64(elapsed)
+}
+
+// Link is a unidirectional point-to-point link with a drop-tail FIFO
+// output queue and store-and-forward transmission: a packet occupies the
+// transmitter for size/bandwidth, then arrives at the destination after
+// the propagation delay. A full-duplex cable is modelled as two Links.
+type Link struct {
+	eng  *sim.Engine
+	src  Node
+	dst  Node
+	rate int64    // bits per second
+	prop sim.Time // propagation delay
+
+	limit int // queue capacity in packets (not counting the in-flight one)
+	queue []*Packet
+	head  int // ring-buffer head index
+	count int // packets in queue
+	busy  bool
+
+	// ECNThreshold, when positive, marks packets with CE at enqueue if
+	// the instantaneous queue length is at or above the threshold
+	// (DCTCP-style marking). Zero disables marking.
+	ECNThreshold int
+
+	layer Layer
+	name  string
+
+	Stats LinkStats
+}
+
+// NewLink creates a link from src to dst. rate is in bits/second, prop is
+// the propagation delay, and limit is the queue capacity in packets.
+func NewLink(eng *sim.Engine, src, dst Node, rate int64, prop sim.Time, limit int, layer Layer) *Link {
+	if rate <= 0 {
+		panic("netem: link rate must be positive")
+	}
+	if limit < 1 {
+		panic("netem: queue limit must be at least 1")
+	}
+	return &Link{
+		eng:   eng,
+		src:   src,
+		dst:   dst,
+		rate:  rate,
+		prop:  prop,
+		limit: limit,
+		queue: make([]*Packet, limit),
+		layer: layer,
+		name:  fmt.Sprintf("%d->%d", src.ID(), dst.ID()),
+	}
+}
+
+// Src returns the sending node.
+func (l *Link) Src() Node { return l.src }
+
+// Dst returns the receiving node.
+func (l *Link) Dst() Node { return l.dst }
+
+// Layer returns the link's topology layer.
+func (l *Link) Layer() Layer { return l.layer }
+
+// Rate returns the link bandwidth in bits per second.
+func (l *Link) Rate() int64 { return l.rate }
+
+// PropDelay returns the propagation delay.
+func (l *Link) PropDelay() sim.Time { return l.prop }
+
+// QueueLen returns the instantaneous queue length in packets, excluding
+// the packet currently being serialised.
+func (l *Link) QueueLen() int { return l.count }
+
+// String identifies the link for diagnostics.
+func (l *Link) String() string { return fmt.Sprintf("link[%s %s]", l.layer, l.name) }
+
+// Enqueue accepts a packet for transmission. If the transmitter is idle
+// the packet begins serialising immediately; otherwise it joins the FIFO
+// queue, or is dropped if the queue is full. Dropped packets are counted
+// in Stats and vanish (the loss signal reaches transports via duplicate
+// ACKs or timeouts, as in a real network).
+func (l *Link) Enqueue(p *Packet) {
+	if !l.busy {
+		l.Stats.Enqueued++
+		l.transmit(p)
+		return
+	}
+	if l.count >= l.limit {
+		l.Stats.Drops++
+		l.Stats.DropBytes += int64(p.Size)
+		return
+	}
+	if l.ECNThreshold > 0 && l.count >= l.ECNThreshold {
+		p.CE = true
+	}
+	l.Stats.Enqueued++
+	l.accountQueue()
+	tail := (l.head + l.count) % l.limit
+	l.queue[tail] = p
+	l.count++
+	if l.count > l.Stats.MaxQueue {
+		l.Stats.MaxQueue = l.count
+	}
+}
+
+// accountQueue folds the elapsed interval at the current queue length
+// into the occupancy integral; callers invoke it immediately before
+// changing the queue length.
+func (l *Link) accountQueue() {
+	now := l.eng.Now()
+	l.Stats.QueueIntegral += int64(l.count) * int64(now-l.Stats.lastQChange)
+	l.Stats.lastQChange = now
+}
+
+func (l *Link) transmit(p *Packet) {
+	l.busy = true
+	tx := sim.TransmissionTime(p.Size, l.rate)
+	l.Stats.BusyTime += tx
+	l.eng.Schedule(tx, func() { l.txDone(p) })
+}
+
+// txDone fires when the last bit of p has been serialised: the packet
+// begins propagating and the transmitter picks up the next queued packet.
+func (l *Link) txDone(p *Packet) {
+	l.Stats.TxPackets++
+	l.Stats.TxBytes += int64(p.Size)
+	l.eng.Schedule(l.prop, func() {
+		p.Hops++
+		l.dst.Receive(p, l)
+	})
+	if l.count > 0 {
+		l.accountQueue()
+		next := l.queue[l.head]
+		l.queue[l.head] = nil
+		l.head = (l.head + 1) % l.limit
+		l.count--
+		l.transmit(next)
+		return
+	}
+	l.busy = false
+}
+
+// LossRate returns the fraction of enqueued packets that were dropped.
+func (s *LinkStats) LossRate() float64 {
+	offered := s.Enqueued + s.Drops
+	if offered == 0 {
+		return 0
+	}
+	return float64(s.Drops) / float64(offered)
+}
+
+// Utilisation returns the fraction of the interval [0, elapsed] during
+// which the transmitter was busy.
+func (s *LinkStats) Utilisation(elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(s.BusyTime) / float64(elapsed)
+}

@@ -1,0 +1,154 @@
+// Package netem implements the packet-level network elements of the
+// simulator: packets, unidirectional links with drop-tail FIFO queues and
+// store-and-forward serialisation, hosts that demultiplex packets to
+// transport endpoints, and switches that forward with hash-based ECMP
+// (RFC 2992 style) over equal-cost next-hop sets.
+//
+// Everything is single-threaded on top of a sim.Engine. Layering follows
+// the gopacket philosophy of explicit flows and endpoints: a packet's
+// 5-tuple identifies its flow for ECMP purposes, while demultiplexing at
+// hosts uses an explicit flow identifier (the simulation equivalent of a
+// connection lookup).
+package netem
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// NodeID identifies a node (host or switch) in the simulated network.
+type NodeID int32
+
+// Flag bits carried by a Packet.
+const (
+	FlagData uint8 = 1 << iota // carries payload bytes
+	FlagAck                    // carries a cumulative acknowledgement
+	FlagSYN                    // subflow establishment
+	FlagFIN                    // sender finished
+)
+
+// Packet is a simulated network packet. Packets are allocated per
+// transmission and carry both the routing fields used by switches and the
+// transport fields used by the TCP/MPTCP/MMPTCP endpoints. A Packet must
+// not be mutated after being handed to a link, except by the eventual
+// receiving endpoint.
+type Packet struct {
+	// Routing fields (the ECMP 5-tuple; protocol is implicitly TCP).
+	Src, Dst         NodeID
+	SrcPort, DstPort uint16
+
+	// Size is the total on-wire size in bytes (headers + payload).
+	Size int
+
+	// FlowID identifies the connection for endpoint demultiplexing, and
+	// Subflow the subflow within an MPTCP/MMPTCP connection. Using an
+	// explicit identifier rather than the port pair lets packet-scatter
+	// flows randomise their source port per packet without breaking
+	// receive-side demultiplexing, mirroring how MPTCP identifies
+	// subflows by token rather than by 4-tuple alone.
+	FlowID  uint64
+	Subflow int8
+
+	Flags uint8
+
+	// Subflow-level sequence space (bytes).
+	Seq        int64 // sequence number of first payload byte
+	PayloadLen int   // payload bytes carried (0 for pure ACKs)
+	AckSeq     int64 // cumulative ACK (valid when FlagAck set)
+
+	// Data-level (connection-wide) sequence space for MPTCP/MMPTCP.
+	DataSeq int64 // data sequence of first payload byte
+
+	// EchoTS carries the timestamp echoed by the receiver for RTT
+	// estimation (TCP timestamps, RFC 7323 style).
+	SentTS sim.Time // stamped by the sender on transmission
+	EchoTS sim.Time // echoed by the receiver in ACKs
+
+	// EchoDup is set on an ACK when the data segment that triggered it
+	// carried only already-received bytes — the DSACK-style signal
+	// (RR-TCP, the paper's §2 alternative) that a retransmission was
+	// spurious, used by adaptive duplicate-ACK thresholds.
+	EchoDup bool
+
+	// Sack carries up to three received-but-not-cumulative byte ranges
+	// (RFC 2018 SACK blocks), attached by receivers whenever the
+	// reorder buffer has holes. Senders without SACK enabled ignore it.
+	Sack [][2]int64
+
+	// Retx marks retransmitted data segments (used by stats only; RTT
+	// sampling uses timestamps and is immune to retransmission
+	// ambiguity).
+	Retx bool
+
+	// ECN congestion-experienced mark, set by queues whose ECN
+	// threshold is exceeded (used by the DCTCP extension), and its
+	// receiver echo on the returning ACK.
+	CE     bool
+	EchoCE bool
+
+	// Hops counts traversed links, as a routing-loop backstop.
+	Hops int
+}
+
+// IsData reports whether the packet carries payload bytes.
+func (p *Packet) IsData() bool { return p.Flags&FlagData != 0 }
+
+// IsAck reports whether the packet carries an acknowledgement.
+func (p *Packet) IsAck() bool { return p.Flags&FlagAck != 0 }
+
+// String renders a compact single-line summary for traces and tests.
+func (p *Packet) String() string {
+	kind := "?"
+	switch {
+	case p.Flags&FlagSYN != 0:
+		kind = "SYN"
+	case p.IsData():
+		kind = "DATA"
+	case p.IsAck():
+		kind = "ACK"
+	case p.Flags&FlagFIN != 0:
+		kind = "FIN"
+	}
+	return fmt.Sprintf("%s flow=%d/%d %d:%d->%d:%d seq=%d len=%d ack=%d",
+		kind, p.FlowID, p.Subflow, p.Src, p.SrcPort, p.Dst, p.DstPort,
+		p.Seq, p.PayloadLen, p.AckSeq)
+}
+
+// FlowHash returns the ECMP hash of the packet's 5-tuple mixed with a
+// per-switch seed. It is deterministic: the same 5-tuple always hashes to
+// the same value at the same switch, which is exactly the property that
+// per-packet source-port randomisation exploits to scatter packets.
+func (p *Packet) FlowHash(seed uint32) uint32 {
+	// FNV-1a over the 5-tuple bytes, seeded.
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32) ^ seed
+	mix := func(b byte) {
+		h ^= uint32(b)
+		h *= prime32
+	}
+	mix(byte(p.Src))
+	mix(byte(p.Src >> 8))
+	mix(byte(p.Src >> 16))
+	mix(byte(p.Src >> 24))
+	mix(byte(p.Dst))
+	mix(byte(p.Dst >> 8))
+	mix(byte(p.Dst >> 16))
+	mix(byte(p.Dst >> 24))
+	mix(byte(p.SrcPort))
+	mix(byte(p.SrcPort >> 8))
+	mix(byte(p.DstPort))
+	mix(byte(p.DstPort >> 8))
+	// FNV's low bits are linear in the input bits, which would make the
+	// modulo-N choices of consecutive switches perfectly correlated.
+	// A murmur3-style avalanche finaliser decorrelates them.
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	h *= 0xc2b2ae35
+	h ^= h >> 16
+	return h
+}

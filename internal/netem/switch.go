@@ -1,0 +1,76 @@
+package netem
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Router computes the set of equal-cost output links a switch may use to
+// reach a packet's destination. Implementations are provided by the
+// topology package (structured FatTree routing, generic shortest-path
+// tables for arbitrary graphs).
+type Router interface {
+	// NextLinks returns the equal-cost output links toward dst. It must
+	// return a non-empty slice for every reachable destination, and the
+	// returned slice must not be modified by the caller.
+	NextLinks(dst NodeID) []*Link
+}
+
+// maxHops bounds packet forwarding as a routing-loop backstop. The
+// deepest sane path in any supported topology is well under this.
+const maxHops = 32
+
+// Switch is an output-queued switch that forwards packets using
+// hash-based ECMP: among the equal-cost links returned by its Router, it
+// picks the one selected by a hash of the packet's 5-tuple mixed with a
+// per-switch seed. Equal 5-tuples therefore always follow the same path
+// (no intra-flow reordering from the network itself), while distinct
+// source ports spread uniformly — the property both MPTCP subflows and
+// MMPTCP's packet-scatter phase rely on.
+type Switch struct {
+	id     NodeID
+	eng    *sim.Engine
+	router Router
+	seed   uint32
+
+	// Stats
+	Forwarded int64
+	Dropped   int64 // packets discarded due to the hop-count backstop
+}
+
+// NewSwitch creates a switch. seed perturbs the ECMP hash so that
+// different switches make independent choices for the same flow, as
+// hardware hash functions with per-device keys do.
+func NewSwitch(eng *sim.Engine, id NodeID, seed uint32) *Switch {
+	return &Switch{id: id, eng: eng, seed: seed}
+}
+
+// ID returns the switch's node identifier.
+func (s *Switch) ID() NodeID { return s.id }
+
+// SetRouter installs the routing function. Topology builders call this
+// once wiring is complete.
+func (s *Switch) SetRouter(r Router) { s.router = r }
+
+// Receive implements Node: look up the equal-cost set for the packet's
+// destination, pick a link by flow hash, and enqueue.
+func (s *Switch) Receive(p *Packet, from *Link) {
+	if p.Hops > maxHops {
+		s.Dropped++
+		return
+	}
+	links := s.router.NextLinks(p.Dst)
+	n := len(links)
+	if n == 0 {
+		panic(fmt.Sprintf("netem: switch %d has no route to %d", s.id, p.Dst))
+	}
+	var out *Link
+	if n == 1 {
+		out = links[0]
+	} else {
+		out = links[p.FlowHash(s.seed)%uint32(n)]
+	}
+	s.Forwarded++
+	out.Enqueue(p)
+}

@@ -1,0 +1,161 @@
+package netem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// staticRouter returns the same equal-cost set for every destination.
+type staticRouter struct{ links []*Link }
+
+func (r *staticRouter) NextLinks(dst NodeID) []*Link { return r.links }
+
+func TestSwitchECMPDeterministicPerFlow(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewSwitch(eng, 100, 7)
+	sinks := make([]*sink, 4)
+	links := make([]*Link, 4)
+	for i := range links {
+		sinks[i] = newSink(eng, NodeID(i))
+		links[i] = NewLink(eng, sw, sinks[i], 1_000_000_000, 0, 1000, LayerAgg)
+	}
+	sw.SetRouter(&staticRouter{links})
+
+	// Same 5-tuple, many packets: all must take the same link.
+	for i := 0; i < 100; i++ {
+		sw.Receive(dataPacket(1500), nil)
+	}
+	eng.Run()
+	nonEmpty := 0
+	for _, s := range sinks {
+		if len(s.packets) > 0 {
+			nonEmpty++
+			if len(s.packets) != 100 {
+				t.Errorf("link got %d packets, want all 100 on one link", len(s.packets))
+			}
+		}
+	}
+	if nonEmpty != 1 {
+		t.Errorf("flow split across %d links; ECMP must be deterministic per flow", nonEmpty)
+	}
+}
+
+func TestSwitchECMPSpreadsRandomPorts(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewSwitch(eng, 100, 7)
+	sinks := make([]*sink, 4)
+	links := make([]*Link, 4)
+	for i := range links {
+		sinks[i] = newSink(eng, NodeID(i))
+		links[i] = NewLink(eng, sw, sinks[i], 10_000_000_000, 0, 100000, LayerAgg)
+	}
+	sw.SetRouter(&staticRouter{links})
+
+	rng := sim.NewRNG(1)
+	const n = 8000
+	for i := 0; i < n; i++ {
+		p := dataPacket(1500)
+		p.SrcPort = uint16(rng.Intn(1 << 16)) // packet scatter
+		sw.Receive(p, nil)
+	}
+	eng.Run()
+	for i, s := range sinks {
+		got := len(s.packets)
+		if got < n/4-n/16 || got > n/4+n/16 {
+			t.Errorf("link %d got %d packets, want about %d (uniform spread)", i, got, n/4)
+		}
+	}
+}
+
+func TestSwitchSingleLinkFastPath(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewSwitch(eng, 100, 7)
+	dst := newSink(eng, 1)
+	l := NewLink(eng, sw, dst, 1_000_000_000, 0, 10, LayerEdge)
+	sw.SetRouter(&staticRouter{[]*Link{l}})
+	sw.Receive(dataPacket(1500), nil)
+	eng.Run()
+	if len(dst.packets) != 1 {
+		t.Fatalf("delivered %d, want 1", len(dst.packets))
+	}
+	if sw.Forwarded != 1 {
+		t.Errorf("forwarded = %d, want 1", sw.Forwarded)
+	}
+}
+
+func TestSwitchHopBackstop(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewSwitch(eng, 100, 7)
+	dst := newSink(eng, 1)
+	l := NewLink(eng, sw, dst, 1_000_000_000, 0, 10, LayerEdge)
+	sw.SetRouter(&staticRouter{[]*Link{l}})
+	p := dataPacket(1500)
+	p.Hops = maxHops + 1
+	sw.Receive(p, nil)
+	eng.Run()
+	if len(dst.packets) != 0 {
+		t.Fatalf("loop backstop failed: packet forwarded with %d hops", p.Hops)
+	}
+	if sw.Dropped != 1 {
+		t.Errorf("dropped = %d, want 1", sw.Dropped)
+	}
+}
+
+func TestFlowHashProperties(t *testing.T) {
+	// Property: the hash depends only on the 5-tuple and seed.
+	f := func(src, dst int32, sport, dport uint16, seed uint32) bool {
+		p1 := &Packet{Src: NodeID(src), Dst: NodeID(dst), SrcPort: sport, DstPort: dport, Seq: 1, Size: 100}
+		p2 := &Packet{Src: NodeID(src), Dst: NodeID(dst), SrcPort: sport, DstPort: dport, Seq: 999, Size: 1500, Retx: true}
+		return p1.FlowHash(seed) == p2.FlowHash(seed)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Different seeds give (almost always) different hashes: check on a
+	// fixed tuple that at least most of 100 seeds differ from seed 0.
+	p := &Packet{Src: 1, Dst: 2, SrcPort: 3, DstPort: 4}
+	base := p.FlowHash(0)
+	same := 0
+	for s := uint32(1); s <= 100; s++ {
+		if p.FlowHash(s) == base {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("%d/100 seeds collide with seed 0", same)
+	}
+}
+
+func TestFlowHashSensitivity(t *testing.T) {
+	base := &Packet{Src: 1, Dst: 2, SrcPort: 3, DstPort: 4}
+	variants := []*Packet{
+		{Src: 2, Dst: 2, SrcPort: 3, DstPort: 4},
+		{Src: 1, Dst: 3, SrcPort: 3, DstPort: 4},
+		{Src: 1, Dst: 2, SrcPort: 5, DstPort: 4},
+		{Src: 1, Dst: 2, SrcPort: 3, DstPort: 6},
+	}
+	h := base.FlowHash(42)
+	for i, v := range variants {
+		if v.FlowHash(42) == h {
+			t.Errorf("variant %d hash collides with base (weak hash)", i)
+		}
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	p := &Packet{Flags: FlagData, FlowID: 7, Src: 1, Dst: 2, SrcPort: 10, DstPort: 20, Seq: 100, PayloadLen: 1400}
+	if s := p.String(); s == "" {
+		t.Error("empty String()")
+	}
+	ack := &Packet{Flags: FlagAck, AckSeq: 1400}
+	if s := ack.String(); s == "" {
+		t.Error("empty String() for ACK")
+	}
+	syn := &Packet{Flags: FlagSYN}
+	fin := &Packet{Flags: FlagFIN}
+	if syn.String() == fin.String() {
+		t.Error("SYN and FIN render identically")
+	}
+}

@@ -1,0 +1,179 @@
+package sim
+
+// Event is a scheduled callback. Events are created by Engine.Schedule and
+// Engine.At and may be cancelled before they fire. An Event must not be
+// reused after it has fired or been cancelled.
+type Event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+}
+
+// Cancel prevents the event from firing. Cancelling an event that has
+// already fired or been cancelled is a no-op.
+func (ev *Event) Cancel() {
+	if ev == nil {
+		return
+	}
+	ev.cancelled = true
+	ev.fn = nil
+}
+
+// Pending reports whether the event is still scheduled to fire.
+func (ev *Event) Pending() bool {
+	return ev != nil && !ev.cancelled && !ev.fired
+}
+
+// Engine is a single-threaded discrete-event simulator. The zero value is
+// not ready for use; call NewEngine.
+type Engine struct {
+	now       Time
+	heap      []*Event
+	seq       uint64
+	processed uint64
+	stopped   bool
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{heap: make([]*Event, 0, 1024)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events currently scheduled (including
+// cancelled events that have not yet been discarded).
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Schedule runs fn after delay. A negative delay is treated as zero.
+// Events scheduled for the same instant fire in scheduling order.
+func (e *Engine) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute time t. Scheduling in the past panics: it is
+// always a logic error in the protocol stacks built on this engine.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.push(ev)
+	return ev
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.RunUntil(Time(1<<63 - 1))
+}
+
+// RunUntil executes events with timestamps <= limit, then sets the clock
+// to limit (or leaves it at the last event time if that is later, which
+// cannot happen by construction). Cancelled events are discarded without
+// being counted as processed.
+func (e *Engine) RunUntil(limit Time) {
+	e.stopped = false
+	for !e.stopped && len(e.heap) > 0 {
+		ev := e.heap[0]
+		if ev.at > limit {
+			break
+		}
+		e.pop()
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		ev.fired = true
+		fn := ev.fn
+		ev.fn = nil
+		e.processed++
+		fn()
+	}
+	if !e.stopped && e.now < limit && limit < Time(1<<63-1) {
+		e.now = limit
+	}
+}
+
+// Step executes exactly one non-cancelled event, if any, and reports
+// whether one was executed.
+func (e *Engine) Step() bool {
+	for len(e.heap) > 0 {
+		ev := e.heap[0]
+		e.pop()
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		ev.fired = true
+		fn := ev.fn
+		ev.fn = nil
+		e.processed++
+		fn()
+		return true
+	}
+	return false
+}
+
+// less orders events by time, breaking ties by insertion sequence so that
+// simultaneous events fire deterministically in scheduling order.
+func (e *Engine) less(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) push(ev *Event) {
+	e.heap = append(e.heap, ev)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(e.heap[i], e.heap[parent]) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+func (e *Engine) pop() {
+	n := len(e.heap) - 1
+	e.heap[0] = e.heap[n]
+	e.heap[n] = nil
+	e.heap = e.heap[:n]
+	if n == 0 {
+		return
+	}
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && e.less(e.heap[l], e.heap[smallest]) {
+			smallest = l
+		}
+		if r < n && e.less(e.heap[r], e.heap[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		e.heap[i], e.heap[smallest] = e.heap[smallest], e.heap[i]
+		i = smallest
+	}
+}

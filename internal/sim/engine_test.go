@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, d := range []Time{5 * Millisecond, Millisecond, 3 * Millisecond, 2 * Millisecond} {
+		d := d
+		e.Schedule(d, func() { got = append(got, e.Now()) })
+	}
+	e.Run()
+	want := []Time{Millisecond, 2 * Millisecond, 3 * Millisecond, 5 * Millisecond}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEngineTieBreakIsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(Millisecond, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events fired out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var fired []string
+	e.Schedule(Millisecond, func() {
+		fired = append(fired, "outer")
+		e.Schedule(Millisecond, func() { fired = append(fired, "inner") })
+		e.Schedule(0, func() { fired = append(fired, "immediate") })
+	})
+	e.Run()
+	if len(fired) != 3 || fired[0] != "outer" || fired[1] != "immediate" || fired[2] != "inner" {
+		t.Fatalf("got order %v", fired)
+	}
+	if e.Now() != 2*Millisecond {
+		t.Errorf("clock = %v, want 2ms", e.Now())
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(Millisecond, func() { fired = true })
+	if !ev.Pending() {
+		t.Fatal("event should be pending after scheduling")
+	}
+	ev.Cancel()
+	if ev.Pending() {
+		t.Fatal("event should not be pending after cancel")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Processed() != 0 {
+		t.Errorf("processed = %d, want 0", e.Processed())
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var count int
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Time(i)*Millisecond, func() { count++ })
+	}
+	e.RunUntil(5 * Millisecond)
+	if count != 5 {
+		t.Errorf("count = %d after RunUntil(5ms), want 5", count)
+	}
+	if e.Now() != 5*Millisecond {
+		t.Errorf("clock = %v, want 5ms", e.Now())
+	}
+	e.Run()
+	if count != 10 {
+		t.Errorf("count = %d after Run, want 10", count)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	var count int
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Time(i)*Millisecond, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Errorf("count = %d after Stop at 3, want 3", count)
+	}
+	// Run resumes where it left off.
+	e.Run()
+	if count != 10 {
+		t.Errorf("count = %d after resume, want 10", count)
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At in the past did not panic")
+			}
+		}()
+		e.At(0, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineStep(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.Schedule(Millisecond, func() { n++ })
+	e.Schedule(2*Millisecond, func() { n++ })
+	if !e.Step() {
+		t.Fatal("Step returned false with pending events")
+	}
+	if n != 1 {
+		t.Fatalf("n = %d after one step, want 1", n)
+	}
+	if !e.Step() {
+		t.Fatal("Step returned false with one pending event")
+	}
+	if e.Step() {
+		t.Fatal("Step returned true with empty queue")
+	}
+	if n != 2 {
+		t.Fatalf("n = %d, want 2", n)
+	}
+}
+
+func TestEngineNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(-Millisecond, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Fatal("event with negative delay never fired")
+	}
+	if e.Now() != 0 {
+		t.Errorf("clock = %v, want 0", e.Now())
+	}
+}
+
+// Property: for any set of delays, events fire in non-decreasing time
+// order and the engine processes exactly len(delays) events.
+func TestEngineHeapProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var fireTimes []Time
+		for _, d := range delays {
+			e.Schedule(Time(d)*Microsecond, func() { fireTimes = append(fireTimes, e.Now()) })
+		}
+		e.Run()
+		if len(fireTimes) != len(delays) {
+			return false
+		}
+		if !sort.SliceIsSorted(fireTimes, func(i, j int) bool { return fireTimes[i] < fireTimes[j] }) {
+			return false
+		}
+		return e.Processed() == uint64(len(delays))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransmissionTime(t *testing.T) {
+	tests := []struct {
+		bytes int
+		rate  int64
+		want  Time
+	}{
+		{1500, 100_000_000, 120 * Microsecond}, // 1500B @ 100Mb/s
+		{1500, 1_000_000_000, 12 * Microsecond},
+		{0, 100_000_000, 0},
+		{1, 1_000_000_000, 8},        // 8ns
+		{1460, 10_000_000, 1168_000}, // 1460B @ 10Mb/s = 1.168ms
+		{1000, 0, 0},                 // degenerate rate
+		{1, 3, 2_666_666_667},        // rounds up
+	}
+	for _, tc := range tests {
+		if got := TransmissionTime(tc.bytes, tc.rate); got != tc.want {
+			t.Errorf("TransmissionTime(%d, %d) = %d, want %d", tc.bytes, tc.rate, got, tc.want)
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	tests := []struct {
+		in   Time
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.500us"},
+		{2500 * Microsecond, "2.500ms"},
+		{3 * Second, "3.000000s"},
+		{-1500, "-1.500us"},
+	}
+	for _, tc := range tests {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(tc.in), got, tc.want)
+		}
+	}
+}
+
+func TestFromSeconds(t *testing.T) {
+	if got := FromSeconds(1.5); got != 1500*Millisecond {
+		t.Errorf("FromSeconds(1.5) = %v", got)
+	}
+}

@@ -1,0 +1,57 @@
+package sim
+
+// Timer is a restartable one-shot timer bound to an engine, used by the
+// transport stacks for retransmission timeouts. Unlike a bare Event it can
+// be reset and stopped repeatedly; each Reset supersedes the previous
+// schedule.
+type Timer struct {
+	eng *Engine
+	ev  *Event
+	fn  func()
+}
+
+// NewTimer returns a stopped timer that runs fn on expiry.
+func NewTimer(eng *Engine, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: nil timer callback")
+	}
+	return &Timer{eng: eng, fn: fn}
+}
+
+// Reset (re)schedules the timer to fire after delay, cancelling any
+// previously scheduled expiry.
+func (t *Timer) Reset(delay Time) {
+	t.Stop()
+	t.ev = t.eng.Schedule(delay, t.fire)
+}
+
+// ResetAt (re)schedules the timer to fire at absolute time at.
+func (t *Timer) ResetAt(at Time) {
+	t.Stop()
+	t.ev = t.eng.At(at, t.fire)
+}
+
+// Stop cancels the pending expiry, if any.
+func (t *Timer) Stop() {
+	if t.ev != nil {
+		t.ev.Cancel()
+		t.ev = nil
+	}
+}
+
+// Active reports whether the timer is scheduled to fire.
+func (t *Timer) Active() bool { return t.ev.Pending() }
+
+// Deadline returns the absolute expiry time. It is only meaningful while
+// the timer is Active.
+func (t *Timer) Deadline() Time {
+	if t.ev == nil {
+		return 0
+	}
+	return t.ev.at
+}
+
+func (t *Timer) fire() {
+	t.ev = nil
+	t.fn()
+}

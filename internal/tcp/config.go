@@ -1,0 +1,61 @@
+package tcp
+
+import "repro/internal/sim"
+
+// Config carries the TCP parameters shared by all protocols in the
+// simulation. The defaults mirror the ns-3 setup of the paper's era:
+// 1400-byte segments, an initial window of 2 segments, duplicate-ACK
+// threshold 3, a 200 ms minimum RTO (the mechanism behind the paper's
+// short-flow tail) and a 1 s initial RTO before the first RTT sample.
+type Config struct {
+	MSS             int      // payload bytes per segment
+	HeaderBytes     int      // on-wire header overhead per packet
+	InitialWindow   int      // initial congestion window, in segments
+	DupAckThreshold int      // duplicate ACKs triggering fast retransmit
+	MinRTO          sim.Time // lower bound on the retransmission timeout
+	MaxRTO          sim.Time // upper bound on the (backed-off) timeout
+	InitialRTO      sim.Time // RTO before the first RTT sample
+}
+
+// DefaultConfig returns the simulation-wide default TCP parameters.
+func DefaultConfig() Config {
+	return Config{
+		MSS:             1400,
+		HeaderBytes:     60,
+		InitialWindow:   2,
+		DupAckThreshold: 3,
+		MinRTO:          200 * sim.Millisecond,
+		MaxRTO:          60 * sim.Second,
+		InitialRTO:      1 * sim.Second,
+	}
+}
+
+// SegmentsFor returns the number of segments needed to carry n bytes.
+func (c Config) SegmentsFor(n int64) int {
+	return int((n + int64(c.MSS) - 1) / int64(c.MSS))
+}
+
+func (c *Config) applyDefaults() {
+	d := DefaultConfig()
+	if c.MSS == 0 {
+		c.MSS = d.MSS
+	}
+	if c.HeaderBytes == 0 {
+		c.HeaderBytes = d.HeaderBytes
+	}
+	if c.InitialWindow == 0 {
+		c.InitialWindow = d.InitialWindow
+	}
+	if c.DupAckThreshold == 0 {
+		c.DupAckThreshold = d.DupAckThreshold
+	}
+	if c.MinRTO == 0 {
+		c.MinRTO = d.MinRTO
+	}
+	if c.MaxRTO == 0 {
+		c.MaxRTO = d.MaxRTO
+	}
+	if c.InitialRTO == 0 {
+		c.InitialRTO = d.InitialRTO
+	}
+}

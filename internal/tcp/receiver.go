@@ -1,0 +1,136 @@
+package tcp
+
+import (
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// ReceiverStats accumulates receive-side counters.
+type ReceiverStats struct {
+	DataPackets int64 // data packets received (including duplicates)
+	DupBytes    int64 // payload bytes already present in the buffer
+	AcksSent    int64
+	MaxReorder  int // worst observed reorder-buffer fragmentation
+}
+
+// subState is the per-subflow receive state: a reorder buffer over the
+// subflow's sequence space.
+type subState struct {
+	buf SeqSet
+}
+
+// Receiver is the receive side of a connection. A single Receiver serves
+// every subflow of an MPTCP/MMPTCP connection (it registers at the
+// connection level): it keeps one reorder buffer per subflow for
+// cumulative ACK generation, and one data-level interval set to detect
+// completion of the whole transfer.
+type Receiver struct {
+	eng  *sim.Engine
+	cfg  Config
+	host *netem.Host
+
+	flowID uint64
+	size   int64 // expected data bytes; -1 for unbounded flows
+
+	subs map[int8]*subState
+	data SeqSet
+
+	delivered int64
+	complete  bool
+
+	// FirstDataAt and CompletedAt bracket the transfer for FCT
+	// accounting (zero until the corresponding event happens).
+	FirstDataAt sim.Time
+	CompletedAt sim.Time
+
+	Stats ReceiverStats
+
+	// OnComplete fires once, when all size bytes have been received at
+	// the data level.
+	OnComplete func()
+}
+
+// NewReceiver creates a receiver for flowID expecting size data bytes
+// (-1 for an unbounded background flow) and registers it on the host at
+// the connection level, so it serves every subflow.
+func NewReceiver(eng *sim.Engine, cfg Config, host *netem.Host, flowID uint64, size int64) *Receiver {
+	cfg.applyDefaults()
+	r := &Receiver{
+		eng:    eng,
+		cfg:    cfg,
+		host:   host,
+		flowID: flowID,
+		size:   size,
+		subs:   make(map[int8]*subState),
+	}
+	host.Register(flowID, -1, r)
+	return r
+}
+
+// Delivered returns the number of distinct data-level bytes received.
+func (r *Receiver) Delivered() int64 { return r.delivered }
+
+// Complete reports whether the full transfer has been received.
+func (r *Receiver) Complete() bool { return r.complete }
+
+// HandlePacket implements netem.Endpoint: accept data, update the
+// subflow reorder buffer and the data-level delivery set, and emit a
+// cumulative ACK for the subflow.
+func (r *Receiver) HandlePacket(p *netem.Packet) {
+	if !p.IsData() {
+		return
+	}
+	r.Stats.DataPackets++
+	if r.FirstDataAt == 0 {
+		r.FirstDataAt = r.eng.Now()
+	}
+	sub, ok := r.subs[p.Subflow]
+	if !ok {
+		sub = &subState{}
+		r.subs[p.Subflow] = sub
+	}
+	newSub := sub.buf.Add(p.Seq, p.Seq+int64(p.PayloadLen))
+	if newSub < int64(p.PayloadLen) {
+		r.Stats.DupBytes += int64(p.PayloadLen) - newSub
+	}
+	if f := sub.buf.Fragments(); f > r.Stats.MaxReorder {
+		r.Stats.MaxReorder = f
+	}
+
+	// Cumulative ACK for this subflow, echoing the sender timestamp.
+	// A fully-duplicate segment raises the DSACK-style EchoDup signal;
+	// out-of-order holdings are advertised as SACK blocks (RFC 2018).
+	cum := sub.buf.ContiguousFrom(0)
+	ack := &netem.Packet{
+		Src:     r.host.ID(),
+		Dst:     p.Src,
+		SrcPort: p.DstPort,
+		DstPort: p.SrcPort,
+		Size:    r.cfg.HeaderBytes,
+		FlowID:  p.FlowID,
+		Subflow: p.Subflow,
+		Flags:   netem.FlagAck,
+		AckSeq:  cum,
+		EchoTS:  p.SentTS,
+		EchoDup: newSub == 0 && p.PayloadLen > 0,
+		EchoCE:  p.CE,
+		Sack:    sub.buf.Blocks(cum, 3),
+	}
+	r.Stats.AcksSent++
+	r.host.Send(ack)
+
+	// Data-level delivery tracking.
+	r.delivered += r.data.Add(p.DataSeq, p.DataSeq+int64(p.PayloadLen))
+	if r.size >= 0 && !r.complete && r.delivered >= r.size {
+		r.complete = true
+		r.CompletedAt = r.eng.Now()
+		if r.OnComplete != nil {
+			r.OnComplete()
+		}
+	}
+}
+
+// Close removes the receiver's host registration.
+func (r *Receiver) Close() {
+	r.host.Unregister(r.flowID, -1)
+}

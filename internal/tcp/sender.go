@@ -1,0 +1,559 @@
+package tcp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// SenderStats accumulates per-sender counters. The paper's Figure 1
+// analysis hinges on Timeouts: "even a single RTO may result in flow
+// deadline violation".
+type SenderStats struct {
+	SegmentsSent    int64 // data segments transmitted (including retransmissions)
+	BytesSent       int64 // payload bytes transmitted (including retransmissions)
+	Retransmissions int64 // retransmitted segments
+	FastRetransmits int64 // fast-retransmit events entered
+	Timeouts        int64 // retransmission timeouts fired
+	AcksReceived    int64
+	DupAcksReceived int64
+	// SpuriousSignals counts DSACK-style duplicate-arrival echoes: each
+	// one is evidence that a retransmission was unnecessary.
+	SpuriousSignals int64
+}
+
+// mapping records which data-level chunk occupies a subflow-level
+// segment, so retransmissions carry the same data sequence.
+type mapping struct {
+	subSeq  int64
+	dataSeq int64
+	n       int
+}
+
+// Sender is a TCP NewReno sender over the simulated network. One Sender
+// drives one subflow; plain TCP is a single Sender with the identity
+// source. It implements netem.Endpoint to consume ACKs.
+type Sender struct {
+	eng  *sim.Engine
+	cfg  Config
+	host *netem.Host
+
+	iface   int
+	dst     netem.NodeID
+	flowID  uint64
+	subflow int8
+	srcPort uint16
+	dstPort uint16
+
+	// Scatter, when non-nil, supplies a fresh source port for every
+	// data packet (MMPTCP packet-scatter phase). ACKs still identify
+	// the flow via FlowID, so demultiplexing is unaffected; only the
+	// ECMP hash changes per packet.
+	scatter func() uint16
+
+	// ifacePicker, when non-nil, chooses the outgoing interface per
+	// packet (multi-homed hosts: the packet-scatter phase sprays
+	// across every NIC, per the paper's multi-homing roadmap).
+	ifacePicker func() int
+
+	src DataSource
+	cc  CongestionControl
+
+	// DupThresh is the duplicate-ACK threshold for fast retransmit.
+	// Plain TCP uses cfg.DupAckThreshold; the packet-scatter phase
+	// raises it based on the topology's path count.
+	dupThresh int
+
+	// adaptive, when true, raises dupThresh by one for every
+	// DSACK-style spurious-retransmission signal (RR-TCP, the paper's
+	// §2 approach (2)), capped at adaptiveMax.
+	adaptive    bool
+	adaptiveMax int
+
+	// SACK state (enabled via SenderOptions.EnableSACK): a scoreboard
+	// of receiver-advertised ranges, and the holes already
+	// retransmitted during the current recovery episode.
+	sackEnabled bool
+	sacked      SeqSet
+	sackRetx    map[int64]bool
+
+	// Congestion state, exported for congestion-control plug-ins.
+	Cwnd     float64 // congestion window, bytes
+	Ssthresh float64 // slow-start threshold, bytes
+
+	sndUna   int64
+	sndNxt   int64
+	highSent int64 // highest sequence ever sent (Retx detection)
+	limit    int64 // bytes granted by the source so far
+	finished bool  // the source is exhausted; limit is final
+	maps     []mapping
+
+	dupAcks    int
+	inRecovery bool
+	recover    int64
+
+	srtt   sim.Time
+	rttvar sim.Time
+	hasRTT bool
+	rto    sim.Time
+	timer  *sim.Timer
+
+	done bool
+
+	Stats SenderStats
+
+	// OnAllAcked fires once when every granted byte has been
+	// cumulatively acknowledged and the source is exhausted.
+	OnAllAcked func()
+	// OnCongestionEvent fires on every fast retransmit or timeout
+	// (MMPTCP's congestion-event switching strategy hooks this).
+	OnCongestionEvent func()
+}
+
+// SenderOptions bundles the identity of a sender's flow.
+type SenderOptions struct {
+	Host    *netem.Host
+	Iface   int // uplink index (multi-homed hosts)
+	Dst     netem.NodeID
+	FlowID  uint64
+	Subflow int8
+	SrcPort uint16
+	DstPort uint16
+	Source  DataSource
+	CC      CongestionControl // nil means RenoCC
+	// DupThresh overrides cfg.DupAckThreshold when > 0.
+	DupThresh int
+	// ScatterPorts, when non-nil, randomises the source port per packet.
+	ScatterPorts func() uint16
+	// IfacePicker, when non-nil, chooses the outgoing interface per
+	// packet (overrides Iface).
+	IfacePicker func() int
+	// AdaptiveDupThresh enables RR-TCP-style learning: every spurious
+	// retransmission signalled by the receiver raises the duplicate-ACK
+	// threshold by one, up to AdaptiveMax (default 64).
+	AdaptiveDupThresh bool
+	AdaptiveMax       int
+	// EnableSACK turns on selective-acknowledgement recovery: during
+	// fast recovery the sender retransmits the next un-SACKed hole per
+	// ACK instead of one segment per RTT, repairing multi-loss windows
+	// in roughly one round trip (RFC 2018/6675, simplified).
+	EnableSACK bool
+}
+
+// NewSender creates a sender, registers it on its host for ACK delivery
+// and leaves it idle until Start.
+func NewSender(eng *sim.Engine, cfg Config, opt SenderOptions) *Sender {
+	cfg.applyDefaults()
+	if opt.Source == nil {
+		panic("tcp: sender needs a data source")
+	}
+	cc := opt.CC
+	if cc == nil {
+		cc = RenoCC{}
+	}
+	dup := opt.DupThresh
+	if dup <= 0 {
+		dup = cfg.DupAckThreshold
+	}
+	adaptiveMax := opt.AdaptiveMax
+	if adaptiveMax <= 0 {
+		adaptiveMax = 64
+	}
+	s := &Sender{
+		eng:         eng,
+		cfg:         cfg,
+		host:        opt.Host,
+		iface:       opt.Iface,
+		dst:         opt.Dst,
+		flowID:      opt.FlowID,
+		subflow:     opt.Subflow,
+		srcPort:     opt.SrcPort,
+		dstPort:     opt.DstPort,
+		scatter:     opt.ScatterPorts,
+		ifacePicker: opt.IfacePicker,
+		src:         opt.Source,
+		cc:          cc,
+		dupThresh:   dup,
+		adaptive:    opt.AdaptiveDupThresh,
+		adaptiveMax: adaptiveMax,
+		sackEnabled: opt.EnableSACK,
+		Cwnd:        float64(cfg.InitialWindow * cfg.MSS),
+		Ssthresh:    1 << 30,
+		rto:         cfg.InitialRTO,
+	}
+	s.timer = sim.NewTimer(eng, s.onTimeout)
+	s.host.Register(s.flowID, s.subflow, s)
+	return s
+}
+
+// Config returns the sender's TCP parameters.
+func (s *Sender) Config() Config { return s.cfg }
+
+// Start begins transmission.
+func (s *Sender) Start() { s.trySend() }
+
+// Done reports whether every granted byte has been acknowledged and the
+// source is exhausted.
+func (s *Sender) Done() bool { return s.done }
+
+// Flight returns the number of unacknowledged bytes in flight.
+func (s *Sender) Flight() int64 { return s.sndNxt - s.sndUna }
+
+// SRTT returns the smoothed RTT estimate (0 before the first sample).
+func (s *Sender) SRTT() sim.Time { return s.srtt }
+
+// RTO returns the current retransmission timeout.
+func (s *Sender) RTO() sim.Time { return s.rto }
+
+// DupThresh returns the duplicate-ACK threshold in force.
+func (s *Sender) DupThresh() int { return s.dupThresh }
+
+// InRecovery reports whether the sender is in NewReno fast recovery.
+func (s *Sender) InRecovery() bool { return s.inRecovery }
+
+// Granted returns the number of bytes the source has granted so far.
+func (s *Sender) Granted() int64 { return s.limit }
+
+// Acked returns the cumulative acknowledged byte count.
+func (s *Sender) Acked() int64 { return s.sndUna }
+
+// HandlePacket implements netem.Endpoint: consume ACKs.
+func (s *Sender) HandlePacket(p *netem.Packet) {
+	if !p.IsAck() || s.done {
+		return
+	}
+	s.Stats.AcksReceived++
+	if p.EchoTS > 0 {
+		s.sampleRTT(s.eng.Now() - p.EchoTS)
+	}
+	if p.EchoDup {
+		s.Stats.SpuriousSignals++
+		if s.adaptive && s.dupThresh < s.adaptiveMax {
+			s.dupThresh++
+		}
+	}
+	if s.sackEnabled {
+		for _, b := range p.Sack {
+			s.sacked.Add(b[0], b[1])
+		}
+	}
+	switch {
+	case p.AckSeq > s.sndUna:
+		if ecn, ok := s.cc.(ECNCapable); ok {
+			ecn.OnECNEcho(s, int(p.AckSeq-s.sndUna), p.EchoCE)
+		}
+		s.onNewAck(p.AckSeq)
+	case p.AckSeq == s.sndUna && s.Flight() > 0:
+		s.Stats.DupAcksReceived++
+		s.onDupAck()
+	default:
+		// Stale ACK (reordered below snd.una): ignore.
+	}
+	s.trySend()
+	s.checkDone()
+}
+
+func (s *Sender) onNewAck(ack int64) {
+	acked := ack - s.sndUna
+	s.sndUna = ack
+	// After a timeout rolls snd.nxt back, a late cumulative ACK for the
+	// original transmissions can overtake it; snd.nxt never trails the
+	// acknowledged prefix.
+	if s.sndNxt < s.sndUna {
+		s.sndNxt = s.sndUna
+	}
+	s.pruneMappings()
+	if s.inRecovery {
+		if ack >= s.recover {
+			// Full acknowledgement: leave recovery, deflate.
+			s.inRecovery = false
+			s.Cwnd = s.Ssthresh
+			s.dupAcks = 0
+		} else {
+			// Partial acknowledgement (RFC 6582): retransmit the next
+			// hole, deflate by the amount acknowledged.
+			s.Cwnd -= float64(acked)
+			s.Cwnd += float64(s.cfg.MSS)
+			if s.Cwnd < float64(s.cfg.MSS) {
+				s.Cwnd = float64(s.cfg.MSS)
+			}
+			s.dupAcks = 0
+			if s.sackEnabled {
+				// The scoreboard knows which holes were already
+				// repaired this episode; fill the next one.
+				s.retransmitNextHole()
+			} else {
+				s.retransmitFirstUnacked()
+			}
+		}
+	} else {
+		s.dupAcks = 0
+		s.cc.OnAck(s, int(acked))
+	}
+	s.restartTimer()
+}
+
+func (s *Sender) onDupAck() {
+	s.dupAcks++
+	switch {
+	case s.inRecovery:
+		// Window inflation: each dup ACK signals a departed segment.
+		s.Cwnd += float64(s.cfg.MSS)
+		if s.sackEnabled {
+			// SACK recovery: each returning ACK clocks out the next
+			// un-SACKed hole, repairing multi-loss windows in ~1 RTT.
+			s.retransmitNextHole()
+		}
+	case s.dupAcks == s.dupThresh:
+		s.enterRecovery()
+	}
+}
+
+func (s *Sender) enterRecovery() {
+	s.Stats.FastRetransmits++
+	s.Ssthresh = s.halfFlight()
+	s.recover = s.sndNxt
+	s.inRecovery = true
+	s.sackRetx = nil
+	s.retransmitFirstUnacked()
+	s.Cwnd = s.Ssthresh + float64(s.dupThresh*s.cfg.MSS)
+	if s.OnCongestionEvent != nil {
+		s.OnCongestionEvent()
+	}
+}
+
+// halfFlight returns max(flight/2, 2*MSS): the NewReno ssthresh rule.
+func (s *Sender) halfFlight() float64 {
+	half := float64(s.Flight()) / 2
+	floor := float64(2 * s.cfg.MSS)
+	if half < floor {
+		return floor
+	}
+	return half
+}
+
+func (s *Sender) onTimeout() {
+	if s.done {
+		return
+	}
+	s.Stats.Timeouts++
+	// Exponential backoff; the next valid RTT sample recomputes RTO.
+	s.rto *= 2
+	if s.rto > s.cfg.MaxRTO {
+		s.rto = s.cfg.MaxRTO
+	}
+	s.Ssthresh = s.halfFlight()
+	s.Cwnd = float64(s.cfg.MSS)
+	s.inRecovery = false
+	s.dupAcks = 0
+	s.sackRetx = nil
+	// Go-back-N: resume from the first unacknowledged byte.
+	s.sndNxt = s.sndUna
+	if s.OnCongestionEvent != nil {
+		s.OnCongestionEvent()
+	}
+	s.trySend()
+	// trySend restarts the timer when it transmits; if it could not
+	// (e.g. zero flight because everything was acknowledged racefully),
+	// ensure we are still armed while data is outstanding.
+	if s.Flight() > 0 && !s.timer.Active() {
+		s.timer.Reset(s.rto)
+	}
+}
+
+// trySend transmits as long as the congestion window allows, granting
+// new data from the source as needed.
+func (s *Sender) trySend() {
+	if s.done {
+		return
+	}
+	for s.Flight() < int64(s.Cwnd) {
+		if s.sndNxt >= s.limit {
+			if s.finished {
+				break
+			}
+			dataSeq, n, exhausted := s.src.Next(s.cfg.MSS)
+			if exhausted {
+				s.finished = true
+			}
+			if n == 0 {
+				break
+			}
+			s.maps = append(s.maps, mapping{s.limit, dataSeq, n})
+			s.limit += int64(n)
+		}
+		m, ok := s.segmentAt(s.sndNxt)
+		if !ok {
+			panic(fmt.Sprintf("tcp: no mapping for seq %d (limit %d)", s.sndNxt, s.limit))
+		}
+		retx := m.subSeq < s.highSent
+		s.transmit(m, retx)
+		s.sndNxt = m.subSeq + int64(m.n)
+		if s.sndNxt > s.highSent {
+			s.highSent = s.sndNxt
+		}
+	}
+	// A sender whose source is exhausted with nothing outstanding is
+	// finished (covers subflows that never receive any allocation).
+	s.checkDone()
+}
+
+// retransmitFirstUnacked resends the segment at snd.una (fast
+// retransmit / NewReno partial-ACK retransmission).
+func (s *Sender) retransmitFirstUnacked() {
+	m, ok := s.segmentAt(s.sndUna)
+	if !ok {
+		return
+	}
+	if s.sackEnabled {
+		if s.sackRetx == nil {
+			s.sackRetx = make(map[int64]bool)
+		}
+		s.sackRetx[m.subSeq] = true
+	}
+	s.transmit(m, true)
+	s.restartTimer()
+}
+
+// retransmitNextHole resends the lowest segment below the recovery
+// point that the receiver has neither cumulatively ACKed nor SACKed and
+// that has not been retransmitted during this recovery episode. It
+// reports whether a retransmission happened.
+func (s *Sender) retransmitNextHole() bool {
+	if s.sackRetx == nil {
+		s.sackRetx = make(map[int64]bool)
+	}
+	// Only bytes below the highest SACKed position can be presumed
+	// lost; everything above may simply still be in flight.
+	limit := s.sacked.MaxEnd()
+	if limit > s.recover {
+		limit = s.recover
+	}
+	for seq := s.sndUna; seq < limit; {
+		m, ok := s.segmentAt(seq)
+		if !ok {
+			return false
+		}
+		end := m.subSeq + int64(m.n)
+		if !s.sackRetx[m.subSeq] && !s.sacked.Contains(m.subSeq, end) {
+			s.sackRetx[m.subSeq] = true
+			s.transmit(m, true)
+			s.restartTimer()
+			return true
+		}
+		seq = end
+	}
+	return false
+}
+
+func (s *Sender) transmit(m mapping, retx bool) {
+	sport := s.srcPort
+	if s.scatter != nil {
+		sport = s.scatter()
+	}
+	p := &netem.Packet{
+		Src:        s.host.ID(),
+		Dst:        s.dst,
+		SrcPort:    sport,
+		DstPort:    s.dstPort,
+		Size:       s.cfg.HeaderBytes + m.n,
+		FlowID:     s.flowID,
+		Subflow:    s.subflow,
+		Flags:      netem.FlagData,
+		Seq:        m.subSeq,
+		PayloadLen: m.n,
+		DataSeq:    m.dataSeq,
+		SentTS:     s.eng.Now(),
+		Retx:       retx,
+	}
+	s.Stats.SegmentsSent++
+	s.Stats.BytesSent += int64(m.n)
+	if retx {
+		s.Stats.Retransmissions++
+	}
+	iface := s.iface
+	if s.ifacePicker != nil {
+		iface = s.ifacePicker()
+	}
+	s.host.SendOn(p, iface)
+	if !s.timer.Active() {
+		s.timer.Reset(s.rto)
+	}
+}
+
+// segmentAt finds the mapping entry containing seq.
+func (s *Sender) segmentAt(seq int64) (mapping, bool) {
+	i := sort.Search(len(s.maps), func(i int) bool {
+		return s.maps[i].subSeq+int64(s.maps[i].n) > seq
+	})
+	if i == len(s.maps) || s.maps[i].subSeq > seq {
+		return mapping{}, false
+	}
+	return s.maps[i], true
+}
+
+// pruneMappings discards mappings fully below snd.una.
+func (s *Sender) pruneMappings() {
+	i := 0
+	for i < len(s.maps) && s.maps[i].subSeq+int64(s.maps[i].n) <= s.sndUna {
+		i++
+	}
+	if i > 0 {
+		s.maps = s.maps[i:]
+	}
+}
+
+func (s *Sender) restartTimer() {
+	if s.Flight() > 0 {
+		s.timer.Reset(s.rto)
+	} else {
+		s.timer.Stop()
+	}
+}
+
+func (s *Sender) sampleRTT(sample sim.Time) {
+	if sample <= 0 {
+		return
+	}
+	if !s.hasRTT {
+		s.srtt = sample
+		s.rttvar = sample / 2
+		s.hasRTT = true
+	} else {
+		diff := s.srtt - sample
+		if diff < 0 {
+			diff = -diff
+		}
+		s.rttvar = (3*s.rttvar + diff) / 4
+		s.srtt = (7*s.srtt + sample) / 8
+	}
+	rto := s.srtt + 4*s.rttvar
+	if rto < s.cfg.MinRTO {
+		rto = s.cfg.MinRTO
+	}
+	if rto > s.cfg.MaxRTO {
+		rto = s.cfg.MaxRTO
+	}
+	s.rto = rto
+}
+
+func (s *Sender) checkDone() {
+	if s.done || !s.finished || s.sndUna < s.limit {
+		return
+	}
+	s.done = true
+	s.timer.Stop()
+	if s.OnAllAcked != nil {
+		s.OnAllAcked()
+	}
+}
+
+// Close tears the sender down: stops its timer and removes its host
+// registration. Late ACKs are then counted as unclaimed by the host.
+func (s *Sender) Close() {
+	s.done = true
+	s.timer.Stop()
+	s.host.Unregister(s.flowID, s.subflow)
+}

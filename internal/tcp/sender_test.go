@@ -1,0 +1,515 @@
+package tcp
+
+import (
+	"testing"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+func TestTransferNoLoss(t *testing.T) {
+	tn := newTestNet()
+	const size = 70000 // the paper's short-flow size: exactly 50 segments
+	snd, rcv := tn.transfer(DefaultConfig(), 1, size)
+	var doneAt sim.Time
+	rcv.OnComplete = func() { doneAt = tn.eng.Now() }
+	allAcked := false
+	snd.OnAllAcked = func() { allAcked = true }
+	snd.Start()
+	tn.eng.Run()
+
+	if !rcv.Complete() {
+		t.Fatal("transfer did not complete")
+	}
+	if rcv.Delivered() != size {
+		t.Fatalf("delivered %d bytes, want %d", rcv.Delivered(), size)
+	}
+	if !allAcked || !snd.Done() {
+		t.Fatal("sender did not observe completion")
+	}
+	if snd.Stats.Retransmissions != 0 || snd.Stats.Timeouts != 0 {
+		t.Errorf("lossless transfer had %d retx, %d timeouts",
+			snd.Stats.Retransmissions, snd.Stats.Timeouts)
+	}
+	if snd.Stats.SegmentsSent != 50 {
+		t.Errorf("segments sent = %d, want 50", snd.Stats.SegmentsSent)
+	}
+	// Slow start from IW=2 over ~40us RTT: several RTTs, well under 10ms.
+	if doneAt <= 0 || doneAt > 10*sim.Millisecond {
+		t.Errorf("FCT = %v, want (0, 10ms]", doneAt)
+	}
+	if got := rcv.Stats.DupBytes; got != 0 {
+		t.Errorf("receiver saw %d duplicate bytes", got)
+	}
+}
+
+func TestFastRetransmitRecoversSingleLoss(t *testing.T) {
+	tn := newTestNet()
+	cfg := DefaultConfig()
+	snd, rcv := tn.transfer(cfg, 1, 70000)
+	// Drop the first transmission of seq 14000 (the 11th segment), when
+	// the window is large enough to generate 3 duplicate ACKs.
+	dropped := false
+	tn.w.drop = func(p *netem.Packet) bool {
+		if p.IsData() && p.Seq == 14000 && !dropped {
+			dropped = true
+			return true
+		}
+		return false
+	}
+	snd.Start()
+	tn.eng.Run()
+
+	if !rcv.Complete() {
+		t.Fatal("transfer did not complete")
+	}
+	if snd.Stats.FastRetransmits != 1 {
+		t.Errorf("fast retransmits = %d, want 1", snd.Stats.FastRetransmits)
+	}
+	if snd.Stats.Timeouts != 0 {
+		t.Errorf("timeouts = %d, want 0 (loss must be repaired by fast retx)", snd.Stats.Timeouts)
+	}
+	if snd.Stats.Retransmissions != 1 {
+		t.Errorf("retransmissions = %d, want 1", snd.Stats.Retransmissions)
+	}
+}
+
+func TestTailLossNeedsTimeout(t *testing.T) {
+	tn := newTestNet()
+	cfg := DefaultConfig()
+	snd, rcv := tn.transfer(cfg, 1, 70000)
+	var doneAt sim.Time
+	rcv.OnComplete = func() { doneAt = tn.eng.Now() }
+	// Drop the first transmission of the last segment: no packets
+	// follow it, so no duplicate ACKs are generated and only the RTO
+	// can repair it.
+	dropped := false
+	tn.w.drop = func(p *netem.Packet) bool {
+		if p.IsData() && p.Seq == 68600 && !dropped {
+			dropped = true
+			return true
+		}
+		return false
+	}
+	snd.Start()
+	tn.eng.Run()
+
+	if !rcv.Complete() {
+		t.Fatal("transfer did not complete")
+	}
+	if snd.Stats.Timeouts < 1 {
+		t.Errorf("timeouts = %d, want >= 1", snd.Stats.Timeouts)
+	}
+	if snd.Stats.FastRetransmits != 0 {
+		t.Errorf("fast retransmits = %d, want 0", snd.Stats.FastRetransmits)
+	}
+	// The RTO floor dominates the FCT: this is the paper's core
+	// mechanism for short-flow tail latency.
+	if doneAt < cfg.MinRTO {
+		t.Errorf("FCT = %v, want >= MinRTO %v", doneAt, cfg.MinRTO)
+	}
+}
+
+func TestInitialWindowLossUsesInitialRTO(t *testing.T) {
+	tn := newTestNet()
+	cfg := DefaultConfig()
+	snd, rcv := tn.transfer(cfg, 1, 70000)
+	var doneAt sim.Time
+	rcv.OnComplete = func() { doneAt = tn.eng.Now() }
+	// Drop the entire initial window (first 2 segments, first try).
+	droppedSeqs := map[int64]bool{}
+	tn.w.drop = func(p *netem.Packet) bool {
+		if p.IsData() && p.Seq < 2800 && !droppedSeqs[p.Seq] {
+			droppedSeqs[p.Seq] = true
+			return true
+		}
+		return false
+	}
+	snd.Start()
+	tn.eng.Run()
+
+	if !rcv.Complete() {
+		t.Fatal("transfer did not complete")
+	}
+	// No RTT sample exists before the loss, so the first timeout fires
+	// at the initial RTO (1s).
+	if doneAt < cfg.InitialRTO {
+		t.Errorf("FCT = %v, want >= initial RTO %v", doneAt, cfg.InitialRTO)
+	}
+	if snd.Stats.Timeouts < 1 {
+		t.Errorf("timeouts = %d, want >= 1", snd.Stats.Timeouts)
+	}
+}
+
+func TestRTOExponentialBackoff(t *testing.T) {
+	tn := newTestNet()
+	cfg := DefaultConfig()
+	snd, _ := tn.transfer(cfg, 1, 1400)
+	tn.w.drop = func(p *netem.Packet) bool { return p.IsData() } // black hole
+	snd.Start()
+	tn.eng.RunUntil(16 * sim.Second)
+
+	// Timeouts at 1s, 3s, 7s, 15s (doubling from the 1s initial RTO):
+	// four timeouts within 16s.
+	if snd.Stats.Timeouts != 4 {
+		t.Errorf("timeouts = %d, want 4 (exponential backoff)", snd.Stats.Timeouts)
+	}
+	if snd.RTO() != 16*sim.Second {
+		t.Errorf("RTO after 4 backoffs = %v, want 16s", snd.RTO())
+	}
+}
+
+func TestRTOBackoffCappedAtMaxRTO(t *testing.T) {
+	tn := newTestNet()
+	cfg := DefaultConfig()
+	cfg.MaxRTO = 2 * sim.Second
+	snd, _ := tn.transfer(cfg, 1, 1400)
+	tn.w.drop = func(p *netem.Packet) bool { return p.IsData() }
+	snd.Start()
+	tn.eng.RunUntil(20 * sim.Second)
+	if snd.RTO() != 2*sim.Second {
+		t.Errorf("RTO = %v, want capped at 2s", snd.RTO())
+	}
+	if snd.Stats.Timeouts < 8 {
+		t.Errorf("timeouts = %d, want >= 8 with capped RTO", snd.Stats.Timeouts)
+	}
+}
+
+func TestHighDupThreshToleratesReordering(t *testing.T) {
+	// A jittery path reorders packets aggressively. With the standard
+	// threshold of 3 the sender retransmits spuriously; with a raised
+	// threshold (MMPTCP's packet-scatter setting) it does not.
+	run := func(dupThresh int) *Sender {
+		tn := newTestNet()
+		cfg := DefaultConfig()
+		rng := sim.NewRNG(42)
+		tn.w.delay = func(p *netem.Packet) sim.Time {
+			if p.IsData() {
+				return sim.Time(rng.Intn(300)) * sim.Microsecond
+			}
+			return 0
+		}
+		rcv := NewReceiver(tn.eng, cfg, tn.b, 1, 140000)
+		snd := NewSender(tn.eng, cfg, SenderOptions{
+			Host: tn.a, Dst: tn.b.ID(), FlowID: 1,
+			SrcPort: 10000, DstPort: 80,
+			Source:    &BytesSource{Size: 140000},
+			DupThresh: dupThresh,
+		})
+		snd.Start()
+		tn.eng.Run()
+		if !rcv.Complete() {
+			t.Fatalf("dupThresh=%d: transfer did not complete", dupThresh)
+		}
+		return snd
+	}
+	standard := run(0) // default threshold 3
+	raised := run(30)
+	if standard.Stats.Retransmissions == 0 {
+		t.Error("expected spurious retransmissions with threshold 3 under heavy reordering")
+	}
+	if raised.Stats.Retransmissions != 0 {
+		t.Errorf("raised threshold still retransmitted %d segments", raised.Stats.Retransmissions)
+	}
+	if raised.DupThresh() != 30 {
+		t.Errorf("DupThresh() = %d, want 30", raised.DupThresh())
+	}
+}
+
+func TestScatterPortsVaryPerPacket(t *testing.T) {
+	tn := newTestNet()
+	cfg := DefaultConfig()
+	rng := sim.NewRNG(7)
+	seen := map[uint16]bool{}
+	var captured []uint16
+	// Capture source ports at the wire.
+	origOut := tn.w.out[tn.b.ID()]
+	tn.w.drop = func(p *netem.Packet) bool {
+		if p.IsData() {
+			captured = append(captured, p.SrcPort)
+		}
+		return false
+	}
+	_ = origOut
+	rcv := NewReceiver(tn.eng, cfg, tn.b, 1, 70000)
+	snd := NewSender(tn.eng, cfg, SenderOptions{
+		Host: tn.a, Dst: tn.b.ID(), FlowID: 1,
+		SrcPort: 10000, DstPort: 80,
+		Source:       &BytesSource{Size: 70000},
+		ScatterPorts: func() uint16 { return uint16(rng.Intn(1 << 16)) },
+	})
+	snd.Start()
+	tn.eng.Run()
+	if !rcv.Complete() {
+		t.Fatal("scattered transfer did not complete")
+	}
+	for _, p := range captured {
+		seen[p] = true
+	}
+	if len(seen) < 40 {
+		t.Errorf("scatter used only %d distinct source ports over %d segments", len(seen), len(captured))
+	}
+	_ = snd
+}
+
+func TestSenderCwndEvolution(t *testing.T) {
+	tn := newTestNet()
+	cfg := DefaultConfig()
+	snd, rcv := tn.transfer(cfg, 1, 700000)
+	snd.Start()
+	tn.eng.Run()
+	if !rcv.Complete() {
+		t.Fatal("transfer did not complete")
+	}
+	// Lossless slow start: cwnd must have grown well beyond the
+	// initial window.
+	if snd.Cwnd <= float64(cfg.InitialWindow*cfg.MSS) {
+		t.Errorf("cwnd = %v never grew beyond initial %d", snd.Cwnd, cfg.InitialWindow*cfg.MSS)
+	}
+	if snd.SRTT() <= 0 {
+		t.Error("no RTT sample recorded")
+	}
+	// Self-induced queueing inflates the RTT well beyond the 40us
+	// propagation floor once the window is large; it must stay bounded
+	// by the transfer duration.
+	if snd.SRTT() > 50*sim.Millisecond {
+		t.Errorf("SRTT = %v implausibly large", snd.SRTT())
+	}
+}
+
+func TestFastRecoveryPartialAcks(t *testing.T) {
+	// Drop two segments in the same window: NewReno repairs both within
+	// one recovery episode via a partial ACK, without timeout.
+	tn := newTestNet()
+	cfg := DefaultConfig()
+	snd, rcv := tn.transfer(cfg, 1, 140000)
+	droppedSeqs := map[int64]bool{}
+	tn.w.drop = func(p *netem.Packet) bool {
+		if p.IsData() && (p.Seq == 28000 || p.Seq == 29400) && !droppedSeqs[p.Seq] {
+			droppedSeqs[p.Seq] = true
+			return true
+		}
+		return false
+	}
+	snd.Start()
+	tn.eng.Run()
+	if !rcv.Complete() {
+		t.Fatal("transfer did not complete")
+	}
+	if snd.Stats.Timeouts != 0 {
+		t.Errorf("timeouts = %d, want 0 (NewReno partial ACK should repair)", snd.Stats.Timeouts)
+	}
+	if snd.Stats.FastRetransmits != 1 {
+		t.Errorf("fast retransmit episodes = %d, want 1", snd.Stats.FastRetransmits)
+	}
+	if snd.Stats.Retransmissions != 2 {
+		t.Errorf("retransmissions = %d, want 2", snd.Stats.Retransmissions)
+	}
+}
+
+func TestSenderCloseUnregisters(t *testing.T) {
+	tn := newTestNet()
+	snd, _ := tn.transfer(DefaultConfig(), 1, 70000)
+	snd.Start()
+	tn.eng.RunUntil(50 * sim.Microsecond)
+	snd.Close()
+	before := tn.a.Unclaimed
+	tn.eng.Run()
+	if tn.a.Unclaimed == before {
+		t.Error("expected late ACKs to be unclaimed after Close")
+	}
+	if !snd.Done() {
+		t.Error("Close must mark the sender done")
+	}
+}
+
+func TestSenderZeroByteFlow(t *testing.T) {
+	tn := newTestNet()
+	snd, _ := tn.transfer(DefaultConfig(), 1, 0)
+	completed := false
+	snd.OnAllAcked = func() { completed = true }
+	snd.Start()
+	tn.eng.Run()
+	if snd.Stats.SegmentsSent != 0 {
+		t.Errorf("segments sent = %d for empty flow", snd.Stats.SegmentsSent)
+	}
+	if !completed || !snd.Done() {
+		t.Error("zero-byte flow must complete immediately")
+	}
+}
+
+func TestSenderStatsAccounting(t *testing.T) {
+	tn := newTestNet()
+	snd, rcv := tn.transfer(DefaultConfig(), 1, 70000)
+	snd.Start()
+	tn.eng.Run()
+	if !rcv.Complete() {
+		t.Fatal("incomplete")
+	}
+	if snd.Stats.BytesSent != 70000 {
+		t.Errorf("bytes sent = %d, want 70000", snd.Stats.BytesSent)
+	}
+	if snd.Stats.AcksReceived != 50 {
+		t.Errorf("acks received = %d, want 50", snd.Stats.AcksReceived)
+	}
+	if rcv.Stats.AcksSent != 50 {
+		t.Errorf("acks sent = %d, want 50", rcv.Stats.AcksSent)
+	}
+	if rcv.Stats.DataPackets != 50 {
+		t.Errorf("data packets = %d, want 50", rcv.Stats.DataPackets)
+	}
+	if rcv.FirstDataAt <= 0 || rcv.CompletedAt < rcv.FirstDataAt {
+		t.Errorf("timestamps: first=%v completed=%v", rcv.FirstDataAt, rcv.CompletedAt)
+	}
+}
+
+func TestAdaptiveDupThreshLearnsFromSpuriousRetx(t *testing.T) {
+	// A jittery path causes spurious fast retransmissions; the receiver
+	// signals each duplicate arrival (DSACK-style) and the adaptive
+	// sender raises its threshold, so later reordering no longer
+	// triggers retransmissions.
+	tn := newTestNet()
+	cfg := DefaultConfig()
+	rng := sim.NewRNG(42)
+	tn.w.delay = func(p *netem.Packet) sim.Time {
+		if p.IsData() {
+			return sim.Time(rng.Intn(300)) * sim.Microsecond
+		}
+		return 0
+	}
+	rcv := NewReceiver(tn.eng, cfg, tn.b, 1, 700_000)
+	snd := NewSender(tn.eng, cfg, SenderOptions{
+		Host: tn.a, Dst: tn.b.ID(), FlowID: 1,
+		SrcPort: 10000, DstPort: 80,
+		Source:            &BytesSource{Size: 700_000},
+		AdaptiveDupThresh: true,
+	})
+	snd.Start()
+	tn.eng.Run()
+	if !rcv.Complete() {
+		t.Fatal("incomplete")
+	}
+	if snd.DupThresh() <= cfg.DupAckThreshold {
+		t.Errorf("threshold never adapted: %d", snd.DupThresh())
+	}
+	if snd.Stats.SpuriousSignals == 0 {
+		t.Error("no spurious signals recorded despite heavy reordering")
+	}
+	// After adaptation the retransmission rate must be far below the
+	// non-adaptive baseline on the same path.
+	base := func() *Sender {
+		tn2 := newTestNet()
+		rng2 := sim.NewRNG(42)
+		tn2.w.delay = func(p *netem.Packet) sim.Time {
+			if p.IsData() {
+				return sim.Time(rng2.Intn(300)) * sim.Microsecond
+			}
+			return 0
+		}
+		rcv2 := NewReceiver(tn2.eng, cfg, tn2.b, 1, 700_000)
+		s2 := NewSender(tn2.eng, cfg, SenderOptions{
+			Host: tn2.a, Dst: tn2.b.ID(), FlowID: 1,
+			SrcPort: 10000, DstPort: 80,
+			Source: &BytesSource{Size: 700_000},
+		})
+		s2.Start()
+		tn2.eng.Run()
+		if !rcv2.Complete() {
+			t.Fatal("baseline incomplete")
+		}
+		return s2
+	}()
+	if snd.Stats.Retransmissions*2 >= base.Stats.Retransmissions {
+		t.Errorf("adaptive retx %d not clearly below baseline %d",
+			snd.Stats.Retransmissions, base.Stats.Retransmissions)
+	}
+}
+
+func TestAdaptiveDupThreshCapped(t *testing.T) {
+	tn := newTestNet()
+	cfg := DefaultConfig()
+	snd, rcv := tn.transfer(cfg, 1, 70_000)
+	_ = rcv
+	snd2 := NewSender(tn.eng, cfg, SenderOptions{
+		Host: tn.a, Dst: tn.b.ID(), FlowID: 2,
+		SrcPort: 10001, DstPort: 80,
+		Source:            &BytesSource{Size: 1},
+		AdaptiveDupThresh: true,
+		AdaptiveMax:       5,
+	})
+	// Feed synthetic spurious signals directly.
+	for i := 0; i < 50; i++ {
+		snd2.HandlePacket(&netem.Packet{Flags: netem.FlagAck, EchoDup: true, FlowID: 2})
+	}
+	if snd2.DupThresh() != 5 {
+		t.Errorf("threshold = %d, want capped at 5", snd2.DupThresh())
+	}
+	if snd2.Stats.SpuriousSignals != 50 {
+		t.Errorf("signals = %d, want 50", snd2.Stats.SpuriousSignals)
+	}
+	_ = snd
+}
+
+func TestReceiverEchoDupSignal(t *testing.T) {
+	tn := newTestNet()
+	cfg := DefaultConfig()
+	rcv := NewReceiver(tn.eng, cfg, tn.b, 1, 70_000)
+	_ = rcv
+	// Capture ACKs arriving back at host a.
+	var acks []*netem.Packet
+	tn.a.Register(1, 0, endpointFunc(func(p *netem.Packet) { acks = append(acks, p) }))
+	mk := func(seq int64) *netem.Packet {
+		return &netem.Packet{
+			Src: tn.a.ID(), Dst: tn.b.ID(), SrcPort: 10000, DstPort: 80,
+			Size: 1460, FlowID: 1, Flags: netem.FlagData,
+			Seq: seq, PayloadLen: 1400, DataSeq: seq, SentTS: 1,
+		}
+	}
+	tn.a.Send(mk(0))
+	tn.a.Send(mk(0)) // duplicate
+	tn.a.Send(mk(1400))
+	tn.eng.Run()
+	if len(acks) != 3 {
+		t.Fatalf("acks = %d", len(acks))
+	}
+	if acks[0].EchoDup {
+		t.Error("first delivery flagged as duplicate")
+	}
+	if !acks[1].EchoDup {
+		t.Error("duplicate delivery not flagged")
+	}
+	if acks[2].EchoDup {
+		t.Error("fresh delivery flagged as duplicate")
+	}
+}
+
+// endpointFunc adapts a function to netem.Endpoint.
+type endpointFunc func(*netem.Packet)
+
+func (f endpointFunc) HandlePacket(p *netem.Packet) { f(p) }
+
+func TestSenderAccessors(t *testing.T) {
+	tn := newTestNet()
+	cfg := DefaultConfig()
+	snd, rcv := tn.transfer(cfg, 1, 70000)
+	if snd.Config().MSS != cfg.MSS {
+		t.Error("Config accessor wrong")
+	}
+	if snd.InRecovery() {
+		t.Error("fresh sender in recovery")
+	}
+	snd.Start()
+	tn.eng.Run()
+	if snd.Granted() != 70000 {
+		t.Errorf("Granted = %d", snd.Granted())
+	}
+	if snd.Acked() != 70000 {
+		t.Errorf("Acked = %d", snd.Acked())
+	}
+	// Receiver Close unregisters.
+	rcv.Close()
+	tn.b.Receive(&netem.Packet{FlowID: 1, Flags: netem.FlagData, PayloadLen: 1, Size: 61}, nil)
+	if tn.b.Unclaimed != 1 {
+		t.Error("closed receiver still claims packets")
+	}
+}

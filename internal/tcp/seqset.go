@@ -1,0 +1,133 @@
+// Package tcp implements the NewReno TCP endpoints the simulation's
+// transport protocols are built from: a sender state machine with slow
+// start, congestion avoidance, fast retransmit/recovery (RFC 6582) and
+// RFC 6298 retransmission timeouts, and a receiver with a reorder buffer
+// and cumulative ACKs.
+//
+// The same sender drives three protocols: plain TCP (identity data
+// source, fixed source port), MPTCP subflows (connection data source,
+// per-subflow source port, LIA coupled congestion control) and MMPTCP's
+// packet-scatter phase (per-packet randomised source port and a
+// topology-derived duplicate-ACK threshold).
+package tcp
+
+// SeqSet tracks a set of byte intervals over a sequence space, used by
+// receivers for reorder buffers (subflow level) and delivery tracking
+// (data level). Intervals are half-open [start, end) and kept sorted and
+// disjoint. The zero value is an empty set.
+type SeqSet struct {
+	ivs []interval
+}
+
+type interval struct{ start, end int64 }
+
+// Add inserts [start, end), merging with existing intervals. Adding an
+// empty or inverted interval is a no-op. It returns the number of bytes
+// newly covered (0 if the range was already fully present).
+func (s *SeqSet) Add(start, end int64) int64 {
+	if start >= end {
+		return 0
+	}
+	// Find insertion window: all intervals overlapping or adjacent to
+	// [start, end).
+	lo := 0
+	for lo < len(s.ivs) && s.ivs[lo].end < start {
+		lo++
+	}
+	hi := lo
+	for hi < len(s.ivs) && s.ivs[hi].start <= end {
+		hi++
+	}
+	newStart, newEnd := start, end
+	existing := int64(0)
+	for i := lo; i < hi; i++ {
+		iv := s.ivs[i]
+		if iv.start < newStart {
+			newStart = iv.start
+		}
+		if iv.end > newEnd {
+			newEnd = iv.end
+		}
+		// Count already-covered bytes within [start, end).
+		os, oe := iv.start, iv.end
+		if os < start {
+			os = start
+		}
+		if oe > end {
+			oe = end
+		}
+		if oe > os {
+			existing += oe - os
+		}
+	}
+	merged := interval{newStart, newEnd}
+	s.ivs = append(s.ivs[:lo], append([]interval{merged}, s.ivs[hi:]...)...)
+	return (end - start) - existing
+}
+
+// Contains reports whether every byte of [start, end) is present.
+func (s *SeqSet) Contains(start, end int64) bool {
+	if start >= end {
+		return true
+	}
+	for _, iv := range s.ivs {
+		if iv.start <= start && end <= iv.end {
+			return true
+		}
+	}
+	return false
+}
+
+// ContiguousFrom returns the end of the contiguous range starting at
+// base, or base itself if base is not covered. For a receiver this is
+// rcv.nxt when called with the initial sequence number.
+func (s *SeqSet) ContiguousFrom(base int64) int64 {
+	for _, iv := range s.ivs {
+		if iv.start <= base && base < iv.end {
+			return iv.end
+		}
+	}
+	return base
+}
+
+// Covered returns the total number of bytes in the set.
+func (s *SeqSet) Covered() int64 {
+	var n int64
+	for _, iv := range s.ivs {
+		n += iv.end - iv.start
+	}
+	return n
+}
+
+// Fragments returns the number of disjoint intervals (a measure of how
+// fragmented the receive buffer is; useful in tests and traces).
+func (s *SeqSet) Fragments() int { return len(s.ivs) }
+
+// MaxEnd returns the highest covered byte position (0 for an empty set).
+func (s *SeqSet) MaxEnd() int64 {
+	if len(s.ivs) == 0 {
+		return 0
+	}
+	return s.ivs[len(s.ivs)-1].end
+}
+
+// Blocks returns up to max intervals whose end lies strictly above
+// `after`, clipped to start no earlier than after — the SACK blocks a
+// receiver advertises for everything beyond its cumulative ACK.
+func (s *SeqSet) Blocks(after int64, max int) [][2]int64 {
+	var out [][2]int64
+	for _, iv := range s.ivs {
+		if iv.end <= after {
+			continue
+		}
+		start := iv.start
+		if start < after {
+			start = after
+		}
+		out = append(out, [2]int64{start, iv.end})
+		if len(out) == max {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// DumbbellConfig describes the classic two-switch dumbbell: n hosts on
+// each side, access links at Link.RateBps, and a single bottleneck link
+// between the switches at BottleneckBps. It is the canonical topology for
+// congestion-control unit tests and the coexistence (fairness)
+// experiments, where several protocols share one bottleneck.
+type DumbbellConfig struct {
+	HostsPerSide  int
+	Link          LinkConfig // access links
+	BottleneckBps int64      // 0 means same as access links
+	// BottleneckQueue overrides the bottleneck queue limit (packets);
+	// 0 means Link.QueueLimit.
+	BottleneckQueue int
+}
+
+// Dumbbell is a built dumbbell network. Hosts 0..n-1 are on the left,
+// n..2n-1 on the right.
+type Dumbbell struct {
+	Network
+	Cfg DumbbellConfig
+
+	// Bottleneck links, left-to-right and right-to-left.
+	BottleneckLR *netem.Link
+	BottleneckRL *netem.Link
+}
+
+// Left returns the i-th left-side host.
+func (d *Dumbbell) Left(i int) *netem.Host { return d.Hosts[i] }
+
+// Right returns the i-th right-side host.
+func (d *Dumbbell) Right(i int) *netem.Host { return d.Hosts[d.Cfg.HostsPerSide+i] }
+
+// NewDumbbell builds the dumbbell and installs BFS-derived ECMP tables
+// (trivially single-path here).
+func NewDumbbell(eng *sim.Engine, cfg DumbbellConfig) *Dumbbell {
+	if cfg.HostsPerSide < 1 {
+		panic(fmt.Sprintf("topology: dumbbell needs at least 1 host per side, got %d", cfg.HostsPerSide))
+	}
+	cfg.Link.applyDefaults()
+	if cfg.BottleneckBps == 0 {
+		cfg.BottleneckBps = cfg.Link.RateBps
+	}
+	if cfg.BottleneckQueue == 0 {
+		cfg.BottleneckQueue = cfg.Link.QueueLimit
+	}
+
+	d := &Dumbbell{Cfg: cfg}
+	d.Eng = eng
+	d.Kind = fmt.Sprintf("dumbbell(n=%d)", cfg.HostsPerSide)
+
+	n := cfg.HostsPerSide
+	id := netem.NodeID(0)
+	for i := 0; i < 2*n; i++ {
+		d.Hosts = append(d.Hosts, netem.NewHost(eng, id))
+		id++
+	}
+	left := netem.NewSwitch(eng, id, 1)
+	id++
+	right := netem.NewSwitch(eng, id, 2)
+	d.Switches = append(d.Switches, left, right)
+
+	for i := 0; i < n; i++ {
+		up, _ := d.connectHost(d.Hosts[i], left, cfg.Link, netem.LayerHost)
+		d.Hosts[i].AttachUplink(up)
+	}
+	for i := 0; i < n; i++ {
+		up, _ := d.connectHost(d.Hosts[n+i], right, cfg.Link, netem.LayerHost)
+		d.Hosts[n+i].AttachUplink(up)
+	}
+	bcfg := cfg.Link
+	bcfg.RateBps = cfg.BottleneckBps
+	bcfg.QueueLimit = cfg.BottleneckQueue
+	d.BottleneckLR, d.BottleneckRL = d.connect(left, right, bcfg, netem.LayerCore)
+
+	buildECMPTables(&d.Network)
+	d.pathCount = func(src, dst netem.NodeID) int { return 1 }
+	d.validate()
+	return d
+}

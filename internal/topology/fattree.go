@@ -1,0 +1,244 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// FatTreeConfig describes a k-ary FatTree (Al-Fares et al., SIGCOMM 2008)
+// with configurable over-subscription at the edge: attaching more than
+// k/2 hosts per edge switch over-subscribes the edge uplinks. The paper's
+// topology — 512 servers at 4:1 — is K=8 with 16 hosts per edge switch
+// (16 host links vs 4 uplinks per edge switch).
+type FatTreeConfig struct {
+	K            int // pods; must be even and >= 2
+	HostsPerEdge int // hosts per edge switch; 0 means k/2 (1:1)
+	Link         LinkConfig
+	Seed         uint64 // perturbs per-switch ECMP hash seeds
+}
+
+// PaperFatTreeConfig returns the evaluation topology from the paper:
+// a 4:1 over-subscribed FatTree with 512 servers (K=8, 16 hosts/edge).
+func PaperFatTreeConfig() FatTreeConfig {
+	return FatTreeConfig{K: 8, HostsPerEdge: 16, Link: DefaultLinkConfig()}
+}
+
+// Oversubscription returns the edge over-subscription ratio, e.g. 4 for
+// the paper's 4:1 configuration.
+func (c FatTreeConfig) Oversubscription() float64 {
+	hpe := c.HostsPerEdge
+	if hpe == 0 {
+		hpe = c.K / 2
+	}
+	return float64(hpe) / float64(c.K/2)
+}
+
+// FatTree is a built k-ary FatTree network.
+type FatTree struct {
+	Network
+	Cfg FatTreeConfig
+
+	hostsPerEdge int
+	edgePerPod   int // k/2
+	aggPerPod    int // k/2
+	hostsPerPod  int
+	numHosts     int
+}
+
+// NumHosts returns the number of servers in the tree.
+func (f *FatTree) NumHosts() int { return f.numHosts }
+
+// PodOf returns the pod index of a host.
+func (f *FatTree) PodOf(h netem.NodeID) int { return int(h) / f.hostsPerPod }
+
+// EdgeIndexOf returns the pod-local edge-switch index of a host.
+func (f *FatTree) EdgeIndexOf(h netem.NodeID) int {
+	return (int(h) % f.hostsPerPod) / f.hostsPerEdge
+}
+
+// edgeOf returns the global edge-switch ordinal of a host.
+func (f *FatTree) edgeOf(h netem.NodeID) int {
+	return int(h) / f.hostsPerEdge
+}
+
+// NewFatTree builds the FatTree, wires every link, installs structured
+// ECMP routers on every switch and sets up the path-count oracle.
+func NewFatTree(eng *sim.Engine, cfg FatTreeConfig) *FatTree {
+	if cfg.K < 2 || cfg.K%2 != 0 {
+		panic(fmt.Sprintf("topology: FatTree K must be even and >= 2, got %d", cfg.K))
+	}
+	cfg.Link.applyDefaults()
+	if cfg.HostsPerEdge == 0 {
+		cfg.HostsPerEdge = cfg.K / 2
+	}
+
+	k := cfg.K
+	half := k / 2
+	f := &FatTree{
+		Cfg:          cfg,
+		hostsPerEdge: cfg.HostsPerEdge,
+		edgePerPod:   half,
+		aggPerPod:    half,
+		hostsPerPod:  half * cfg.HostsPerEdge,
+	}
+	f.Eng = eng
+	f.Kind = fmt.Sprintf("fattree(k=%d,hosts/edge=%d)", k, cfg.HostsPerEdge)
+	f.numHosts = k * f.hostsPerPod
+
+	numEdge := k * half
+	numAgg := k * half
+	numCore := half * half
+
+	// Node IDs: hosts first, then edge, agg, core switches.
+	nextID := netem.NodeID(0)
+	for i := 0; i < f.numHosts; i++ {
+		f.Hosts = append(f.Hosts, netem.NewHost(eng, nextID))
+		nextID++
+	}
+	seedRNG := sim.NewRNG(cfg.Seed ^ 0x5eed_fa77_ee00_0001)
+	mkSwitch := func() *netem.Switch {
+		sw := netem.NewSwitch(eng, nextID, seedRNG.Uint32())
+		nextID++
+		f.Switches = append(f.Switches, sw)
+		return sw
+	}
+	edges := make([]*netem.Switch, numEdge)
+	for i := range edges {
+		edges[i] = mkSwitch()
+	}
+	aggs := make([]*netem.Switch, numAgg)
+	for i := range aggs {
+		aggs[i] = mkSwitch()
+	}
+	cores := make([]*netem.Switch, numCore)
+	for i := range cores {
+		cores[i] = mkSwitch()
+	}
+
+	// Routers, populated while wiring.
+	edgeRouters := make([]*fatTreeEdgeRouter, numEdge)
+	for i := range edgeRouters {
+		edgeRouters[i] = &fatTreeEdgeRouter{
+			f:         f,
+			edge:      i,
+			hostLinks: make([][]*netem.Link, cfg.HostsPerEdge),
+		}
+	}
+	aggRouters := make([]*fatTreeAggRouter, numAgg)
+	for i := range aggRouters {
+		aggRouters[i] = &fatTreeAggRouter{
+			f:         f,
+			pod:       i / half,
+			edgeLinks: make([][]*netem.Link, half),
+		}
+	}
+	coreRouters := make([]*fatTreeCoreRouter, numCore)
+	for i := range coreRouters {
+		coreRouters[i] = &fatTreeCoreRouter{f: f, podLinks: make([][]*netem.Link, k)}
+	}
+
+	// Host <-> edge links.
+	for e := 0; e < numEdge; e++ {
+		for i := 0; i < cfg.HostsPerEdge; i++ {
+			h := f.Hosts[e*cfg.HostsPerEdge+i]
+			up, down := f.connectHost(h, edges[e], cfg.Link, netem.LayerHost)
+			h.AttachUplink(up)
+			edgeRouters[e].hostLinks[i] = []*netem.Link{down}
+		}
+	}
+	// Edge <-> agg links (full bipartite within each pod).
+	for p := 0; p < k; p++ {
+		for e := 0; e < half; e++ {
+			for a := 0; a < half; a++ {
+				eg := p*half + e
+				ag := p*half + a
+				up, down := f.connect(edges[eg], aggs[ag], cfg.Link, netem.LayerEdge)
+				edgeRouters[eg].upLinks = append(edgeRouters[eg].upLinks, up)
+				aggRouters[ag].edgeLinks[e] = []*netem.Link{down}
+			}
+		}
+	}
+	// Agg <-> core links: agg switch with pod-local index a connects to
+	// the k/2 core switches in group a (cores a*half .. a*half+half-1).
+	for p := 0; p < k; p++ {
+		for a := 0; a < half; a++ {
+			ag := p*half + a
+			for j := 0; j < half; j++ {
+				c := a*half + j
+				up, down := f.connect(aggs[ag], cores[c], cfg.Link, netem.LayerAgg)
+				aggRouters[ag].upLinks = append(aggRouters[ag].upLinks, up)
+				coreRouters[c].podLinks[p] = []*netem.Link{down}
+			}
+		}
+	}
+
+	for i, sw := range edges {
+		f.setRouter(sw, edgeRouters[i])
+	}
+	for i, sw := range aggs {
+		f.setRouter(sw, aggRouters[i])
+	}
+	for i, sw := range cores {
+		f.setRouter(sw, coreRouters[i])
+	}
+
+	f.pathCount = func(src, dst netem.NodeID) int {
+		switch {
+		case src == dst:
+			return 1
+		case f.edgeOf(src) == f.edgeOf(dst):
+			return 1 // via the shared edge switch
+		case f.PodOf(src) == f.PodOf(dst):
+			return half // one path per aggregation switch
+		default:
+			return half * half // agg choice x core choice
+		}
+	}
+	f.validate()
+	return f
+}
+
+// fatTreeEdgeRouter forwards down to a local host or up to any
+// aggregation switch in the pod.
+type fatTreeEdgeRouter struct {
+	f         *FatTree
+	edge      int             // global edge ordinal
+	hostLinks [][]*netem.Link // single-element sets, indexed by local host
+	upLinks   []*netem.Link   // all agg uplinks (equal cost)
+}
+
+func (r *fatTreeEdgeRouter) NextLinks(dst netem.NodeID) []*netem.Link {
+	if r.f.edgeOf(dst) == r.edge {
+		return r.hostLinks[int(dst)%r.f.hostsPerEdge]
+	}
+	return r.upLinks
+}
+
+// fatTreeAggRouter forwards down to the destination's edge switch when
+// the destination is in this pod, otherwise up to any attached core.
+type fatTreeAggRouter struct {
+	f         *FatTree
+	pod       int
+	edgeLinks [][]*netem.Link // single-element sets, indexed by pod-local edge
+	upLinks   []*netem.Link   // core uplinks (equal cost)
+}
+
+func (r *fatTreeAggRouter) NextLinks(dst netem.NodeID) []*netem.Link {
+	if r.f.PodOf(dst) == r.pod {
+		return r.edgeLinks[r.f.EdgeIndexOf(dst)]
+	}
+	return r.upLinks
+}
+
+// fatTreeCoreRouter forwards down to the aggregation switch of the
+// destination's pod (each core connects to exactly one agg per pod).
+type fatTreeCoreRouter struct {
+	f        *FatTree
+	podLinks [][]*netem.Link // single-element sets, indexed by pod
+}
+
+func (r *fatTreeCoreRouter) NextLinks(dst netem.NodeID) []*netem.Link {
+	return r.podLinks[r.f.PodOf(dst)]
+}

@@ -1,0 +1,310 @@
+package topology
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// recorder collects packets delivered to a host endpoint.
+type recorder struct{ got []*netem.Packet }
+
+func (r *recorder) HandlePacket(p *netem.Packet) { r.got = append(r.got, p) }
+
+// sendPacket injects one data packet from src to dst through the network.
+func sendPacket(n *Network, src, dst int, sport, dport uint16, flowID uint64, seq int64) {
+	p := &netem.Packet{
+		Src: netem.NodeID(src), Dst: netem.NodeID(dst),
+		SrcPort: sport, DstPort: dport,
+		Size: 1460, Flags: netem.FlagData, PayloadLen: 1400,
+		FlowID: flowID, Seq: seq,
+	}
+	n.Hosts[src].Send(p)
+}
+
+func TestFatTreeDimensions(t *testing.T) {
+	tests := []struct {
+		k, hpe                 int
+		hosts, switches, links int
+		oversub                float64
+	}{
+		// k=4, 1:1: 16 hosts, 4 pods x (2 edge + 2 agg) + 4 core = 20
+		// switches. Links (duplex pairs x2): host 16 + edge-agg 16 + agg-core 16 = 48 -> 96.
+		{4, 0, 16, 20, 96, 1},
+		// Paper: k=8, 16 hosts/edge: 512 hosts, 8x(4+4)+16 = 80 switches.
+		// host links 512 + edge-agg 8*4*4=128 + agg-core 8*4*4=128 -> 768 duplex -> 1536.
+		{8, 16, 512, 80, 1536, 4},
+	}
+	for _, tc := range tests {
+		eng := sim.NewEngine()
+		cfg := FatTreeConfig{K: tc.k, HostsPerEdge: tc.hpe, Link: DefaultLinkConfig()}
+		ft := NewFatTree(eng, cfg)
+		if got := ft.NumHosts(); got != tc.hosts {
+			t.Errorf("k=%d hpe=%d: hosts = %d, want %d", tc.k, tc.hpe, got, tc.hosts)
+		}
+		if got := len(ft.Switches); got != tc.switches {
+			t.Errorf("k=%d hpe=%d: switches = %d, want %d", tc.k, tc.hpe, got, tc.switches)
+		}
+		if got := len(ft.Links); got != tc.links {
+			t.Errorf("k=%d hpe=%d: links = %d, want %d", tc.k, tc.hpe, got, tc.links)
+		}
+		if got := ft.Cfg.Oversubscription(); got != tc.oversub {
+			t.Errorf("k=%d hpe=%d: oversubscription = %v, want %v", tc.k, tc.hpe, got, tc.oversub)
+		}
+	}
+}
+
+func TestPaperFatTreeConfig(t *testing.T) {
+	cfg := PaperFatTreeConfig()
+	eng := sim.NewEngine()
+	ft := NewFatTree(eng, cfg)
+	if ft.NumHosts() != 512 {
+		t.Errorf("paper config has %d hosts, want 512", ft.NumHosts())
+	}
+	if got := cfg.Oversubscription(); got != 4 {
+		t.Errorf("paper config oversubscription = %v, want 4", got)
+	}
+}
+
+func TestFatTreeInvalidK(t *testing.T) {
+	for _, k := range []int{0, 1, 3, 7} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("K=%d did not panic", k)
+				}
+			}()
+			NewFatTree(sim.NewEngine(), FatTreeConfig{K: k})
+		}()
+	}
+}
+
+func TestFatTreeAllPairsDelivery(t *testing.T) {
+	eng := sim.NewEngine()
+	ft := NewFatTree(eng, FatTreeConfig{K: 4, Link: DefaultLinkConfig()})
+	n := ft.NumHosts()
+	flowID := uint64(0)
+	recs := make(map[uint64]*recorder)
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			flowID++
+			rec := &recorder{}
+			recs[flowID] = rec
+			ft.Hosts[dst].Register(flowID, 0, rec)
+			sendPacket(&ft.Network, src, dst, uint16(1000+src), 80, flowID, 0)
+		}
+	}
+	eng.Run()
+	for id, rec := range recs {
+		if len(rec.got) != 1 {
+			t.Fatalf("flow %d delivered %d packets, want 1", id, len(rec.got))
+		}
+	}
+	// No host should have unclaimed packets (routing never transits hosts).
+	for i, h := range ft.Hosts {
+		if h.Unclaimed != 0 {
+			t.Errorf("host %d has %d unclaimed packets", i, h.Unclaimed)
+		}
+	}
+}
+
+func TestFatTreeHopCounts(t *testing.T) {
+	eng := sim.NewEngine()
+	ft := NewFatTree(eng, FatTreeConfig{K: 4, Link: DefaultLinkConfig()})
+	// Same edge: host0 -> host1 is host-edge-host = 2 links.
+	// Same pod, different edge: host0 -> host2 = 4 links.
+	// Different pod: host0 -> host15 = 6 links.
+	cases := []struct {
+		src, dst, hops int
+	}{{0, 1, 2}, {0, 2, 4}, {0, 15, 6}}
+	for i, tc := range cases {
+		rec := &recorder{}
+		id := uint64(100 + i)
+		ft.Hosts[tc.dst].Register(id, 0, rec)
+		sendPacket(&ft.Network, tc.src, tc.dst, 1234, 80, id, 0)
+		eng.Run()
+		if len(rec.got) != 1 {
+			t.Fatalf("case %d: delivered %d", i, len(rec.got))
+		}
+		if rec.got[0].Hops != tc.hops {
+			t.Errorf("%d->%d: hops = %d, want %d", tc.src, tc.dst, rec.got[0].Hops, tc.hops)
+		}
+	}
+}
+
+func TestFatTreePathCountFormula(t *testing.T) {
+	eng := sim.NewEngine()
+	ft := NewFatTree(eng, FatTreeConfig{K: 4, Link: DefaultLinkConfig()})
+	cases := []struct {
+		src, dst, want int
+	}{
+		{0, 0, 1},  // self
+		{0, 1, 1},  // same edge
+		{0, 2, 2},  // same pod, different edge: k/2
+		{0, 15, 4}, // different pod: (k/2)^2
+	}
+	for _, tc := range cases {
+		if got := ft.PathCount(netem.NodeID(tc.src), netem.NodeID(tc.dst)); got != tc.want {
+			t.Errorf("PathCount(%d,%d) = %d, want %d", tc.src, tc.dst, got, tc.want)
+		}
+	}
+}
+
+// TestFatTreePathCountMatchesDAG verifies the closed-form path count
+// against an exhaustive count over the ECMP forwarding DAG.
+func TestFatTreePathCountMatchesDAG(t *testing.T) {
+	eng := sim.NewEngine()
+	ft := NewFatTree(eng, FatTreeConfig{K: 4, HostsPerEdge: 4, Link: DefaultLinkConfig()})
+	for src := 0; src < ft.NumHosts(); src += 3 {
+		for dst := 0; dst < ft.NumHosts(); dst += 5 {
+			if src == dst {
+				continue
+			}
+			want := countShortestPaths(&ft.Network, netem.NodeID(src), netem.NodeID(dst))
+			got := ft.PathCount(netem.NodeID(src), netem.NodeID(dst))
+			if got != want {
+				t.Fatalf("PathCount(%d,%d) = %d, DAG count = %d", src, dst, got, want)
+			}
+		}
+	}
+}
+
+// TestFatTreeStructuredRoutingMatchesBFS compares the structured routers
+// against the generic BFS-derived equal-cost tables link by link.
+func TestFatTreeStructuredRoutingMatchesBFS(t *testing.T) {
+	eng := sim.NewEngine()
+	ft := NewFatTree(eng, FatTreeConfig{K: 4, HostsPerEdge: 3, Link: DefaultLinkConfig()})
+
+	// Snapshot structured next-hop sets.
+	type key struct {
+		sw  netem.NodeID
+		dst netem.NodeID
+	}
+	structured := make(map[key]map[*netem.Link]bool)
+	for _, sw := range ft.Switches {
+		r := ft.routers[sw.ID()]
+		for h := 0; h < ft.NumHosts(); h++ {
+			set := make(map[*netem.Link]bool)
+			for _, l := range r.NextLinks(netem.NodeID(h)) {
+				set[l] = true
+			}
+			structured[key{sw.ID(), netem.NodeID(h)}] = set
+		}
+	}
+
+	// Rebuild with BFS tables and compare.
+	buildECMPTables(&ft.Network)
+	for _, sw := range ft.Switches {
+		r := ft.routers[sw.ID()]
+		for h := 0; h < ft.NumHosts(); h++ {
+			want := structured[key{sw.ID(), netem.NodeID(h)}]
+			links := r.NextLinks(netem.NodeID(h))
+			if len(links) != len(want) {
+				t.Fatalf("switch %d -> host %d: BFS set size %d, structured %d",
+					sw.ID(), h, len(links), len(want))
+			}
+			for _, l := range links {
+				if !want[l] {
+					t.Fatalf("switch %d -> host %d: BFS chose %v not in structured set", sw.ID(), h, l)
+				}
+			}
+		}
+	}
+}
+
+func TestFatTreeNoIntraFlowReordering(t *testing.T) {
+	eng := sim.NewEngine()
+	ft := NewFatTree(eng, FatTreeConfig{K: 4, Link: DefaultLinkConfig()})
+	rec := &recorder{}
+	ft.Hosts[15].Register(1, 0, rec)
+	for i := 0; i < 100; i++ {
+		sendPacket(&ft.Network, 0, 15, 5555, 80, 1, int64(i))
+	}
+	eng.Run()
+	if len(rec.got) != 100 {
+		t.Fatalf("delivered %d, want 100", len(rec.got))
+	}
+	for i, p := range rec.got {
+		if p.Seq != int64(i) {
+			t.Fatalf("packet %d arrived with seq %d: fixed 5-tuple must not reorder", i, p.Seq)
+		}
+	}
+}
+
+func TestFatTreeScatterUsesAllCores(t *testing.T) {
+	eng := sim.NewEngine()
+	ft := NewFatTree(eng, FatTreeConfig{K: 4, Link: DefaultLinkConfig(), Seed: 3})
+	rec := &recorder{}
+	ft.Hosts[15].Register(1, 0, rec)
+	rng := sim.NewRNG(9)
+	const pkts = 2000
+	for i := 0; i < pkts; i++ {
+		i := i
+		// Pace injections at the access-link rate so nothing drops.
+		eng.At(sim.Time(i)*150*sim.Microsecond, func() {
+			sendPacket(&ft.Network, 0, 15, uint16(rng.Intn(1<<16)), 80, 1, int64(i))
+		})
+	}
+	eng.Run()
+	if len(rec.got) != pkts {
+		t.Fatalf("delivered %d, want %d (no drops expected at this load)", len(rec.got), pkts)
+	}
+	// Every agg->core link out of pod 0 should have carried traffic.
+	used := 0
+	total := 0
+	for _, l := range ft.LinksAtLayer(netem.LayerAgg) {
+		if _, isSwitch := l.Src().(*netem.Switch); !isSwitch {
+			continue
+		}
+		total++
+		if l.Stats.TxPackets > 0 {
+			used++
+		}
+	}
+	// 4 agg->core uplinks carry pod0->core traffic, 4 core->agg links
+	// carry core->pod3. With 2000 scattered packets all 8 must be hit.
+	if used < 8 {
+		t.Errorf("only %d/%d agg-layer links carried scattered traffic", used, total)
+	}
+}
+
+func TestFatTreeLocators(t *testing.T) {
+	eng := sim.NewEngine()
+	ft := NewFatTree(eng, FatTreeConfig{K: 4, HostsPerEdge: 4, Link: DefaultLinkConfig()})
+	// 4 pods x 2 edges x 4 hosts = 32 hosts; hostsPerPod = 8.
+	cases := []struct {
+		host, pod, edgeIdx int
+	}{{0, 0, 0}, {3, 0, 0}, {4, 0, 1}, {8, 1, 0}, {31, 3, 1}}
+	for _, tc := range cases {
+		if got := ft.PodOf(netem.NodeID(tc.host)); got != tc.pod {
+			t.Errorf("PodOf(%d) = %d, want %d", tc.host, got, tc.pod)
+		}
+		if got := ft.EdgeIndexOf(netem.NodeID(tc.host)); got != tc.edgeIdx {
+			t.Errorf("EdgeIndexOf(%d) = %d, want %d", tc.host, got, tc.edgeIdx)
+		}
+	}
+}
+
+func TestLinksAtLayer(t *testing.T) {
+	eng := sim.NewEngine()
+	ft := NewFatTree(eng, FatTreeConfig{K: 4, Link: DefaultLinkConfig()})
+	if got := len(ft.LinksAtLayer(netem.LayerHost)); got != 32 {
+		t.Errorf("host links = %d, want 32", got)
+	}
+	if got := len(ft.LinksAtLayer(netem.LayerEdge)); got != 32 {
+		t.Errorf("edge links = %d, want 32", got)
+	}
+	if got := len(ft.LinksAtLayer(netem.LayerAgg)); got != 32 {
+		t.Errorf("agg links = %d, want 32", got)
+	}
+}
+
+func ExampleFatTreeConfig_Oversubscription() {
+	fmt.Println(PaperFatTreeConfig().Oversubscription())
+	// Output: 4
+}

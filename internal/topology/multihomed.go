@@ -1,0 +1,126 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// MultiHomedConfig describes the paper's future-work topology: a k-ary
+// FatTree in which every server is dual-homed, attached to two distinct
+// edge switches in its pod. The paper's roadmap argues that "the more
+// parallel paths at the access layer, the higher the burst tolerance".
+//
+// The wiring keeps the FatTree fabric identical and adds, for every
+// host, a second access link to the next edge switch in the pod
+// (wrapping around), so edge switches carry 2x the host links.
+type MultiHomedConfig struct {
+	K            int // pods; must be even and >= 4 (needs >= 2 edges per pod)
+	HostsPerEdge int // primary-homed hosts per edge switch; 0 means k/2
+	Link         LinkConfig
+	Seed         uint64
+}
+
+// MultiHomed is a built dual-homed FatTree.
+type MultiHomed struct {
+	Network
+	Cfg MultiHomedConfig
+
+	hostsPerEdge int
+	edgePerPod   int
+	hostsPerPod  int
+	numHosts     int
+}
+
+// NumHosts returns the number of servers.
+func (m *MultiHomed) NumHosts() int { return m.numHosts }
+
+// NewMultiHomed builds the dual-homed FatTree. Routing uses BFS-derived
+// ECMP tables (structured routing becomes irregular with dual homing, and
+// the generic tables are exact).
+func NewMultiHomed(eng *sim.Engine, cfg MultiHomedConfig) *MultiHomed {
+	if cfg.K < 4 || cfg.K%2 != 0 {
+		panic(fmt.Sprintf("topology: multi-homed FatTree K must be even and >= 4, got %d", cfg.K))
+	}
+	cfg.Link.applyDefaults()
+	if cfg.HostsPerEdge == 0 {
+		cfg.HostsPerEdge = cfg.K / 2
+	}
+
+	k := cfg.K
+	half := k / 2
+	m := &MultiHomed{
+		Cfg:          cfg,
+		hostsPerEdge: cfg.HostsPerEdge,
+		edgePerPod:   half,
+		hostsPerPod:  half * cfg.HostsPerEdge,
+	}
+	m.Eng = eng
+	m.Kind = fmt.Sprintf("multihomed-fattree(k=%d,hosts/edge=%d)", k, cfg.HostsPerEdge)
+	m.numHosts = k * m.hostsPerPod
+
+	nextID := netem.NodeID(0)
+	for i := 0; i < m.numHosts; i++ {
+		m.Hosts = append(m.Hosts, netem.NewHost(eng, nextID))
+		nextID++
+	}
+	seedRNG := sim.NewRNG(cfg.Seed ^ 0x5eed_fa77_ee00_0002)
+	mkSwitch := func() *netem.Switch {
+		sw := netem.NewSwitch(eng, nextID, seedRNG.Uint32())
+		nextID++
+		m.Switches = append(m.Switches, sw)
+		return sw
+	}
+	numEdge := k * half
+	edges := make([]*netem.Switch, numEdge)
+	for i := range edges {
+		edges[i] = mkSwitch()
+	}
+	aggs := make([]*netem.Switch, k*half)
+	for i := range aggs {
+		aggs[i] = mkSwitch()
+	}
+	cores := make([]*netem.Switch, half*half)
+	for i := range cores {
+		cores[i] = mkSwitch()
+	}
+
+	// Host links: primary to edge e, secondary to edge (e+1) mod half
+	// within the pod.
+	for p := 0; p < k; p++ {
+		for e := 0; e < half; e++ {
+			for i := 0; i < cfg.HostsPerEdge; i++ {
+				h := m.Hosts[(p*half+e)*cfg.HostsPerEdge+i]
+				primary := edges[p*half+e]
+				secondary := edges[p*half+(e+1)%half]
+				up1, _ := m.connectHost(h, primary, cfg.Link, netem.LayerHost)
+				up2, _ := m.connectHost(h, secondary, cfg.Link, netem.LayerHost)
+				h.AttachUplink(up1)
+				h.AttachUplink(up2)
+			}
+		}
+	}
+	// Fabric identical to the plain FatTree.
+	for p := 0; p < k; p++ {
+		for e := 0; e < half; e++ {
+			for a := 0; a < half; a++ {
+				m.connect(edges[p*half+e], aggs[p*half+a], cfg.Link, netem.LayerEdge)
+			}
+		}
+	}
+	for p := 0; p < k; p++ {
+		for a := 0; a < half; a++ {
+			for j := 0; j < half; j++ {
+				m.connect(aggs[p*half+a], cores[a*half+j], cfg.Link, netem.LayerAgg)
+			}
+		}
+	}
+
+	buildECMPTables(&m.Network)
+	m.pathCount = func(src, dst netem.NodeID) int {
+		return countShortestPaths(&m.Network, src, dst)
+	}
+	m.validate()
+	return m
+}

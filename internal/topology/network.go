@@ -1,0 +1,275 @@
+// Package topology builds the simulated data-centre networks the paper's
+// experiments run on: k-ary FatTrees with configurable over-subscription
+// (the paper's setup is a 512-server, 4:1 over-subscribed FatTree), a
+// dual-homed FatTree variant (the paper's future-work topology), and a
+// dumbbell used by unit tests and the coexistence experiments.
+//
+// Each topology provides hash-based ECMP routing (structured routers for
+// the FatTree, breadth-first-search equal-cost tables for everything
+// else) and a PathCount oracle that MMPTCP's packet-scatter phase uses to
+// derive its dynamic duplicate-ACK threshold — the paper's "FatTree IP
+// addressing scheme can be exploited to calculate the number of available
+// paths" proposal.
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// LinkConfig carries the physical parameters shared by all builders.
+type LinkConfig struct {
+	RateBps      int64    // link bandwidth in bits/s
+	Delay        sim.Time // per-link propagation delay
+	QueueLimit   int      // drop-tail queue capacity in packets
+	ECNThreshold int      // DCTCP-style marking threshold; 0 disables
+
+	// HostEgressQueue sizes the host->switch direction of access links.
+	// A real sender does not drop its own packets at its NIC — the
+	// qdisc backpressures — so this should be much deeper than switch
+	// ports. 0 means 32x QueueLimit.
+	HostEgressQueue int
+}
+
+// DefaultLinkConfig mirrors the parameter regime of the paper's
+// literature (100 Mb/s links, 20 us per hop, 100-packet buffers).
+func DefaultLinkConfig() LinkConfig {
+	return LinkConfig{
+		RateBps:    100_000_000,
+		Delay:      20 * sim.Microsecond,
+		QueueLimit: 100,
+	}
+}
+
+func (c *LinkConfig) applyDefaults() {
+	d := DefaultLinkConfig()
+	if c.RateBps == 0 {
+		c.RateBps = d.RateBps
+	}
+	if c.Delay == 0 {
+		c.Delay = d.Delay
+	}
+	if c.QueueLimit == 0 {
+		c.QueueLimit = d.QueueLimit
+	}
+	if c.HostEgressQueue == 0 {
+		c.HostEgressQueue = 32 * c.QueueLimit
+	}
+}
+
+// hostEgress returns a copy of the config with the queue limit set for
+// the host->switch direction of an access link.
+func (c LinkConfig) hostEgress() LinkConfig {
+	out := c
+	out.QueueLimit = c.HostEgressQueue
+	return out
+}
+
+// Network is a built topology: hosts, switches, every unidirectional
+// link (for statistics), and a path-count oracle.
+type Network struct {
+	Eng      *sim.Engine
+	Hosts    []*netem.Host
+	Switches []*netem.Switch
+	Links    []*netem.Link
+	Kind     string
+
+	// routers keeps each switch's router so that path counting can
+	// follow the ECMP DAG (netem.Switch deliberately hides it).
+	routers map[netem.NodeID]netem.Router
+
+	// pathCount returns the number of distinct equal-cost paths between
+	// two hosts; see PathCount.
+	pathCount func(src, dst netem.NodeID) int
+}
+
+// setRouter installs a router on a switch and records it for path
+// counting.
+func (n *Network) setRouter(sw *netem.Switch, r netem.Router) {
+	sw.SetRouter(r)
+	if n.routers == nil {
+		n.routers = make(map[netem.NodeID]netem.Router)
+	}
+	n.routers[sw.ID()] = r
+}
+
+// PathCount returns the number of distinct shortest paths between two
+// hosts. MMPTCP uses it to size the packet-scatter duplicate-ACK
+// threshold. It returns 1 when src == dst or when the oracle is missing.
+func (n *Network) PathCount(src, dst netem.NodeID) int {
+	if src == dst || n.pathCount == nil {
+		return 1
+	}
+	return n.pathCount(src, dst)
+}
+
+// Host returns the host with index i (hosts are numbered 0..len-1 and
+// host index equals NodeID by construction in all builders).
+func (n *Network) Host(i int) *netem.Host { return n.Hosts[i] }
+
+// LinksAtLayer returns all unidirectional links whose layer matches.
+func (n *Network) LinksAtLayer(layer netem.Layer) []*netem.Link {
+	var out []*netem.Link
+	for _, l := range n.Links {
+		if l.Layer() == layer {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// connect wires a full-duplex cable between a and b as two unidirectional
+// links with identical parameters and records them in n.Links.
+func (n *Network) connect(a, b netem.Node, cfg LinkConfig, layer netem.Layer) (ab, ba *netem.Link) {
+	ab = netem.NewLink(n.Eng, a, b, cfg.RateBps, cfg.Delay, cfg.QueueLimit, layer)
+	ba = netem.NewLink(n.Eng, b, a, cfg.RateBps, cfg.Delay, cfg.QueueLimit, layer)
+	ab.ECNThreshold = cfg.ECNThreshold
+	ba.ECNThreshold = cfg.ECNThreshold
+	n.Links = append(n.Links, ab, ba)
+	return ab, ba
+}
+
+// connectHost wires a host's access cable: the host->switch direction
+// gets the deep host-egress queue (a sender backpressures rather than
+// dropping its own packets), the switch->host direction a normal switch
+// port queue.
+func (n *Network) connectHost(h, sw netem.Node, cfg LinkConfig, layer netem.Layer) (up, down *netem.Link) {
+	up = netem.NewLink(n.Eng, h, sw, cfg.RateBps, cfg.Delay, cfg.HostEgressQueue, layer)
+	down = netem.NewLink(n.Eng, sw, h, cfg.RateBps, cfg.Delay, cfg.QueueLimit, layer)
+	up.ECNThreshold = cfg.ECNThreshold
+	down.ECNThreshold = cfg.ECNThreshold
+	n.Links = append(n.Links, up, down)
+	return up, down
+}
+
+// TableRouter is a routing table mapping destination host to an
+// equal-cost set of output links. It implements netem.Router.
+type TableRouter struct {
+	table map[netem.NodeID][]*netem.Link
+}
+
+// NextLinks implements netem.Router.
+func (r *TableRouter) NextLinks(dst netem.NodeID) []*netem.Link {
+	return r.table[dst]
+}
+
+// buildECMPTables computes, for every switch, the full equal-cost
+// shortest-path next-hop sets toward every host, by breadth-first search
+// from each host over the reversed link graph. It installs a TableRouter
+// on each switch. This is the generic fallback used by non-FatTree
+// topologies, and the reference implementation the FatTree's structured
+// routers are tested against.
+func buildECMPTables(n *Network) {
+	// Adjacency: outgoing links per node.
+	out := make(map[netem.NodeID][]*netem.Link)
+	// Incoming links per node (reversed graph).
+	in := make(map[netem.NodeID][]*netem.Link)
+	for _, l := range n.Links {
+		out[l.Src().ID()] = append(out[l.Src().ID()], l)
+		in[l.Dst().ID()] = append(in[l.Dst().ID()], l)
+	}
+
+	routers := make(map[netem.NodeID]*TableRouter, len(n.Switches))
+	for _, sw := range n.Switches {
+		r := &TableRouter{table: make(map[netem.NodeID][]*netem.Link)}
+		routers[sw.ID()] = r
+		n.setRouter(sw, r)
+	}
+
+	// Hosts never forward: BFS treats every host other than the
+	// destination as a dead end, so routes cannot tunnel through a
+	// dual-homed server.
+	isHost := make(map[netem.NodeID]bool, len(n.Hosts))
+	for _, h := range n.Hosts {
+		isHost[h.ID()] = true
+	}
+
+	for _, h := range n.Hosts {
+		dst := h.ID()
+		dist := make(map[netem.NodeID]int32)
+		frontier := []netem.NodeID{dst}
+		dist[dst] = 0
+		for len(frontier) > 0 {
+			var next []netem.NodeID
+			for _, v := range frontier {
+				for _, l := range in[v] {
+					u := l.Src().ID()
+					if isHost[u] && u != dst {
+						continue
+					}
+					if _, seen := dist[u]; !seen {
+						dist[u] = dist[v] + 1
+						next = append(next, u)
+					}
+				}
+			}
+			frontier = next
+		}
+		for _, sw := range n.Switches {
+			d, ok := dist[sw.ID()]
+			if !ok {
+				continue
+			}
+			var eq []*netem.Link
+			for _, l := range out[sw.ID()] {
+				nd, ok := dist[l.Dst().ID()]
+				if ok && nd == d-1 {
+					eq = append(eq, l)
+				}
+			}
+			if len(eq) > 0 {
+				routers[sw.ID()].table[dst] = eq
+			}
+		}
+	}
+}
+
+// countShortestPaths returns the number of distinct shortest paths from
+// src to dst host following the installed routing tables. It is used as
+// the generic path-count oracle (and as the reference the FatTree formula
+// is tested against). The count follows the ECMP DAG, so it reflects the
+// paths packets can actually take.
+func countShortestPaths(n *Network, src, dst netem.NodeID) int {
+	if src == dst {
+		return 1
+	}
+	// The first hop from a host is its uplink(s); afterwards, follow
+	// each switch's equal-cost set. Memoised DFS over the DAG.
+	memo := make(map[netem.NodeID]int)
+	var visit func(id netem.NodeID) int
+	visit = func(id netem.NodeID) int {
+		if id == dst {
+			return 1
+		}
+		if v, ok := memo[id]; ok {
+			return v
+		}
+		r, ok := n.routers[id]
+		if !ok {
+			return 0
+		}
+		total := 0
+		for _, l := range r.NextLinks(dst) {
+			total += visit(l.Dst().ID())
+		}
+		memo[id] = total
+		return total
+	}
+	total := 0
+	for _, up := range n.Hosts[src].Uplinks() {
+		total += visit(up.Dst().ID())
+	}
+	return total
+}
+
+// validate panics if the network is structurally broken; builders call it
+// before returning. It checks that every host has at least one uplink.
+func (n *Network) validate() {
+	for i, h := range n.Hosts {
+		if len(h.Uplinks()) == 0 {
+			panic(fmt.Sprintf("topology: host %d has no uplink", i))
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// VL2Config describes a VL2-style Clos network (Greenberg et al.,
+// SIGCOMM 2009/2011, the paper's reference [3]): ToR switches dual-homed
+// to aggregation switches, and a complete bipartite mesh between
+// aggregation and intermediate switches. Fabric links run at a multiple
+// of the server rate (VL2 used 10x), and flows are Valiant-load-balanced
+// by ECMP through the intermediates.
+//
+// The paper notes that topologies like VL2 "incorporate centralised
+// components which can provide similar information" to FatTree
+// addressing — i.e. the path count MMPTCP's packet-scatter threshold
+// needs. Here that oracle is derived from the routing DAG.
+type VL2Config struct {
+	// DA is the number of aggregation switches (even). Each ToR
+	// connects to 2 of them; intermediates connect to all of them.
+	DA int
+	// DI is the number of intermediate switches.
+	DI int
+	// HostsPerToR is the number of servers per ToR switch.
+	HostsPerToR int
+	// FabricMultiple scales ToR-agg and agg-intermediate link rates
+	// relative to the server links (VL2: 10). 0 means 10.
+	FabricMultiple int
+	Link           LinkConfig // server-link parameters
+	Seed           uint64
+}
+
+// VL2 is a built VL2-style Clos network.
+type VL2 struct {
+	Network
+	Cfg      VL2Config
+	numHosts int
+}
+
+// NumHosts returns the number of servers.
+func (v *VL2) NumHosts() int { return v.numHosts }
+
+// NewVL2 builds the Clos, wires fabric links at FabricMultiple times the
+// server rate, installs BFS-derived ECMP tables and a DAG-based
+// path-count oracle.
+func NewVL2(eng *sim.Engine, cfg VL2Config) *VL2 {
+	if cfg.DA < 2 || cfg.DA%2 != 0 {
+		panic(fmt.Sprintf("topology: VL2 DA must be even and >= 2, got %d", cfg.DA))
+	}
+	if cfg.DI < 1 {
+		panic(fmt.Sprintf("topology: VL2 DI must be >= 1, got %d", cfg.DI))
+	}
+	if cfg.HostsPerToR < 1 {
+		panic(fmt.Sprintf("topology: VL2 needs hosts per ToR >= 1, got %d", cfg.HostsPerToR))
+	}
+	cfg.Link.applyDefaults()
+	if cfg.FabricMultiple == 0 {
+		cfg.FabricMultiple = 10
+	}
+
+	// VL2 sizing: DA*DI/4... we keep it simple and direct: the number
+	// of ToRs is DA*2 (each agg pairs with 4 ToR uplinks in VL2's
+	// formulation; any count works for the simulation, so expose it as
+	// DA ToR pairs).
+	numToR := cfg.DA * 2
+	v := &VL2{Cfg: cfg}
+	v.Eng = eng
+	v.Kind = fmt.Sprintf("vl2(da=%d,di=%d,hosts/tor=%d)", cfg.DA, cfg.DI, cfg.HostsPerToR)
+	v.numHosts = numToR * cfg.HostsPerToR
+
+	nextID := netem.NodeID(0)
+	for i := 0; i < v.numHosts; i++ {
+		v.Hosts = append(v.Hosts, netem.NewHost(eng, nextID))
+		nextID++
+	}
+	seedRNG := sim.NewRNG(cfg.Seed ^ 0x5eed_fa77_ee00_0003)
+	mkSwitch := func() *netem.Switch {
+		sw := netem.NewSwitch(eng, nextID, seedRNG.Uint32())
+		nextID++
+		v.Switches = append(v.Switches, sw)
+		return sw
+	}
+	tors := make([]*netem.Switch, numToR)
+	for i := range tors {
+		tors[i] = mkSwitch()
+	}
+	aggs := make([]*netem.Switch, cfg.DA)
+	for i := range aggs {
+		aggs[i] = mkSwitch()
+	}
+	ints := make([]*netem.Switch, cfg.DI)
+	for i := range ints {
+		ints[i] = mkSwitch()
+	}
+
+	// Server links.
+	for t := 0; t < numToR; t++ {
+		for i := 0; i < cfg.HostsPerToR; i++ {
+			h := v.Hosts[t*cfg.HostsPerToR+i]
+			up, _ := v.connectHost(h, tors[t], cfg.Link, netem.LayerHost)
+			h.AttachUplink(up)
+		}
+	}
+	fabric := cfg.Link
+	fabric.RateBps = cfg.Link.RateBps * int64(cfg.FabricMultiple)
+	// Each ToR dual-homes to two aggregation switches.
+	for t := 0; t < numToR; t++ {
+		a1 := t % cfg.DA
+		a2 := (t + 1) % cfg.DA
+		v.connect(tors[t], aggs[a1], fabric, netem.LayerEdge)
+		v.connect(tors[t], aggs[a2], fabric, netem.LayerEdge)
+	}
+	// Complete bipartite agg <-> intermediate mesh.
+	for a := 0; a < cfg.DA; a++ {
+		for i := 0; i < cfg.DI; i++ {
+			v.connect(aggs[a], ints[i], fabric, netem.LayerAgg)
+		}
+	}
+
+	buildECMPTables(&v.Network)
+	v.pathCount = func(src, dst netem.NodeID) int {
+		return countShortestPaths(&v.Network, src, dst)
+	}
+	v.validate()
+	return v
+}

@@ -1,0 +1,154 @@
+// Package workload generates the paper's traffic: a permutation traffic
+// matrix over the servers, with one third of the servers running
+// long-lived background flows and the rest sending 70 KB short flows
+// whose arrivals follow a Poisson process (Figure 1's caption), plus the
+// hotspot and incast patterns from the paper's roadmap.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Assignment maps each host to its role and permutation partner.
+type Assignment struct {
+	Hosts int
+	// Partner[i] is the fixed destination of host i (a derangement:
+	// Partner[i] != i).
+	Partner []int
+	// LongSenders and ShortSenders partition the hosts that send.
+	LongSenders  []int
+	ShortSenders []int
+}
+
+// BuildPermutation draws a permutation traffic matrix: a random
+// derangement assigns every host a destination, and a random subset of
+// longFraction of the hosts is designated to run long background flows;
+// the rest send short flows. The paper uses longFraction = 1/3 over 512
+// hosts.
+func BuildPermutation(rng *sim.RNG, hosts int, longFraction float64) Assignment {
+	if hosts < 2 {
+		panic(fmt.Sprintf("workload: need at least 2 hosts, got %d", hosts))
+	}
+	if longFraction < 0 || longFraction > 1 {
+		panic(fmt.Sprintf("workload: longFraction %v out of [0,1]", longFraction))
+	}
+	a := Assignment{Hosts: hosts, Partner: rng.Derangement(hosts)}
+	order := rng.Perm(hosts)
+	nLong := int(float64(hosts) * longFraction)
+	for i, h := range order {
+		if i < nLong {
+			a.LongSenders = append(a.LongSenders, h)
+		} else {
+			a.ShortSenders = append(a.ShortSenders, h)
+		}
+	}
+	return a
+}
+
+// HotspotConfig redirects a fraction of short senders to a single hot
+// destination (the paper's roadmap "effect of hotspots").
+type HotspotConfig struct {
+	// Fraction of short senders redirected to the hot host.
+	Fraction float64
+	// Host is the hot destination.
+	Host int
+}
+
+// ApplyHotspot rewrites the partners of the first Fraction of short
+// senders to point at the hot host. Senders equal to the hot host keep
+// their original partner.
+func (a *Assignment) ApplyHotspot(cfg HotspotConfig) {
+	n := int(float64(len(a.ShortSenders)) * cfg.Fraction)
+	for i := 0; i < n && i < len(a.ShortSenders); i++ {
+		s := a.ShortSenders[i]
+		if s != cfg.Host {
+			a.Partner[s] = cfg.Host
+		}
+	}
+}
+
+// SpawnFunc launches one flow of size bytes from src to dst at the
+// current simulation time. id is unique per flow.
+type SpawnFunc func(id uint64, src, dst int, size int64)
+
+// PoissonShortFlows schedules short-flow arrivals: each short sender
+// independently draws exponential inter-arrival times with the given
+// per-sender rate (flows/second), starting after warmup, until total
+// flows have been spawned across all senders. The spawned flow always
+// targets the sender's permutation partner.
+type PoissonShortFlows struct {
+	Eng     *sim.Engine
+	Assign  *Assignment
+	Rate    float64 // per-sender arrivals per second
+	Size    int64   // bytes per flow (70 KB in the paper)
+	Total   int     // stop after this many flows (0 = no limit)
+	Warmup  sim.Time
+	Spawn   SpawnFunc
+	BaseID  uint64 // first flow ID to assign
+	spawned int
+	nextID  uint64
+}
+
+// Start seeds each sender's arrival process. rng provides the
+// exponential draws (split per sender for determinism independent of
+// event interleaving).
+func (p *PoissonShortFlows) Start(rng *sim.RNG) {
+	if p.Rate <= 0 {
+		panic("workload: Poisson rate must be positive")
+	}
+	if p.Spawn == nil {
+		panic("workload: Spawn is required")
+	}
+	p.nextID = p.BaseID
+	for _, src := range p.Assign.ShortSenders {
+		src := src
+		srcRNG := rng.Split()
+		var arrive func()
+		arrive = func() {
+			if p.Total > 0 && p.spawned >= p.Total {
+				return
+			}
+			p.spawned++
+			id := p.nextID
+			p.nextID++
+			p.Spawn(id, src, p.Assign.Partner[src], p.Size)
+			gap := sim.FromSeconds(srcRNG.ExpFloat64() / p.Rate)
+			p.Eng.Schedule(gap, arrive)
+		}
+		first := p.Warmup + sim.FromSeconds(srcRNG.ExpFloat64()/p.Rate)
+		p.Eng.At(first, arrive)
+	}
+}
+
+// Spawned returns the number of flows launched so far.
+func (p *PoissonShortFlows) Spawned() int { return p.spawned }
+
+// Incast launches n simultaneous flows of size bytes from distinct
+// senders to one receiver at time at — the paper's burst-tolerance
+// scenario ("tolerance to sudden and high bursts of traffic").
+type Incast struct {
+	Eng     *sim.Engine
+	Senders []int
+	Dst     int
+	Size    int64
+	At      sim.Time
+	Spawn   SpawnFunc
+	BaseID  uint64
+}
+
+// Start schedules the burst.
+func (ic *Incast) Start() {
+	if ic.Spawn == nil {
+		panic("workload: Spawn is required")
+	}
+	for i, src := range ic.Senders {
+		if src == ic.Dst {
+			continue
+		}
+		src := src
+		id := ic.BaseID + uint64(i)
+		ic.Eng.At(ic.At, func() { ic.Spawn(id, src, ic.Dst, ic.Size) })
+	}
+}

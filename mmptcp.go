@@ -1,0 +1,255 @@
+// Package mmptcp is a packet-level simulation study of MMPTCP — "Short
+// vs. Long Flows: A Battle That Both Can Win" (Kheirkhah, Wakeman,
+// Parisis; SIGCOMM 2015) — implemented entirely in Go on a custom
+// discrete-event simulator.
+//
+// MMPTCP is a hybrid data-centre transport: it opens in a Packet Scatter
+// phase (per-packet source-port randomisation under a single TCP window,
+// spraying packets across all ECMP paths — good for latency-sensitive
+// short flows), then switches to standard MPTCP with LIA coupled
+// congestion control (good for bandwidth-hungry long flows).
+//
+// This package is the public API: describe an experiment with Config —
+// topology (the paper's 512-server 4:1 over-subscribed FatTree or
+// smaller variants), protocol (TCP, MPTCP with N subflows, MMPTCP with
+// either switching strategy) and workload (permutation traffic matrix,
+// one third of servers running long background flows, the rest sending
+// 70 KB short flows with Poisson arrivals) — and Run it to obtain
+// per-flow completion times, per-layer loss rates, long-flow throughput
+// and link utilisation.
+//
+// The internal packages implement the substrates: internal/sim (event
+// engine), internal/netem (links, queues, ECMP switches), internal/
+// topology (FatTree and friends), internal/tcp (NewReno), internal/mptcp
+// (LIA), internal/core (MMPTCP itself), internal/workload and
+// internal/metrics.
+package mmptcp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/topology"
+)
+
+// Protocol selects the transport under test.
+type Protocol string
+
+// Supported protocols.
+const (
+	ProtoTCP    Protocol = "tcp"    // single-path NewReno over per-flow ECMP
+	ProtoMPTCP  Protocol = "mptcp"  // MPTCP with Subflows subflows and LIA
+	ProtoMMPTCP Protocol = "mmptcp" // the paper's hybrid (PS then MPTCP)
+	// ProtoDCTCP is the single-path DCTCP baseline (the §1 class of
+	// latency-oriented transports that need switch ECN support).
+	// Selecting it enables ECN marking on every link (ECNThreshold).
+	ProtoDCTCP Protocol = "dctcp"
+)
+
+// TopologyKind selects the simulated network.
+type TopologyKind string
+
+// Supported topologies.
+const (
+	TopoFatTree    TopologyKind = "fattree"    // k-ary FatTree (paper: K=8, 16 hosts/edge)
+	TopoMultiHomed TopologyKind = "multihomed" // dual-homed FatTree (paper roadmap)
+	TopoDumbbell   TopologyKind = "dumbbell"   // two switches, one bottleneck
+	TopoVL2        TopologyKind = "vl2"        // VL2-style Clos with a 10x fabric
+)
+
+// Config describes one experiment. The zero value is not runnable; use
+// PaperConfig or SmallConfig as starting points, or fill the required
+// fields (Protocol, ShortFlows, ArrivalRate).
+type Config struct {
+	// Topology.
+	Topology     TopologyKind // default TopoFatTree
+	K            int          // FatTree arity; default 8
+	HostsPerEdge int          // hosts per edge switch; default 2*K (4:1 over-subscription)
+	LinkRateBps  int64        // default 100 Mb/s
+	LinkDelay    sim.Time     // default 20 us per hop
+	// QueueLimit is the per-port drop-tail buffer in packets. Default
+	// 30 (~3.6 ms of drain at 100 Mb/s): deep enough for bursts, small
+	// enough that short flows are not buried in bufferbloat — the
+	// regime in which the paper's dynamics (loss -> RTO tails for
+	// MPTCP's small subflow windows, reordering-tolerant scatter for
+	// MMPTCP) play out.
+	QueueLimit int
+	// BottleneckBps overrides the inter-switch link rate on the
+	// dumbbell topology (0 = same as LinkRateBps). Ignored elsewhere.
+	BottleneckBps int64
+	// ECNThreshold enables DCTCP-style marking on every queue when
+	// positive (packets). Defaults to 10 when Protocol is dctcp.
+	ECNThreshold int
+
+	// Protocol.
+	Protocol    Protocol
+	Subflows    int           // MPTCP/MMPTCP subflows; default 8
+	Strategy    core.Strategy // MMPTCP switching strategy
+	SwitchBytes int64         // MMPTCP data-volume threshold; default 100 KB
+	// PSThreshold selects the packet-scatter duplicate-ACK threshold
+	// policy: topology-derived (default) or RR-TCP-like adaptive.
+	PSThreshold core.ThresholdMode
+	// SACK enables selective-acknowledgement recovery on every sender
+	// (ablation: the paper's ns-3 models were NewReno-style).
+	SACK bool
+	TCP  tcp.Config // segment sizes, RTO bounds; zero fields take defaults
+
+	// Workload: the paper's Figure 1 setup.
+	LongFraction  float64  // fraction of hosts running long flows; default 1/3; negative = none
+	ShortFlowSize int64    // default 70 KB
+	ShortFlows    int      // number of short flows to spawn (required)
+	ArrivalRate   float64  // short flows per second per short sender (required)
+	Warmup        sim.Time // long-flow head start; default 100 ms
+
+	// Hotspot (roadmap experiment): fraction of short senders
+	// redirected to HotspotHost. Zero disables.
+	HotspotFraction float64
+	HotspotHost     int
+
+	// Deadline is the completion deadline against which short flows are
+	// scored (Results.DeadlineMissRate); default 200 ms, a typical
+	// partition/aggregate budget from the literature the paper cites.
+	Deadline sim.Time
+
+	// Control.
+	Seed       uint64
+	MaxSimTime sim.Time // safety cap; default 300 s of virtual time
+}
+
+// PaperConfig returns the full-scale setup from the paper's Figure 1:
+// 512 servers, 4:1 over-subscription, one third long senders, 70 KB
+// short flows. flows sets how many short flows to run (the paper plots
+// 100,000; that takes a while — see EXPERIMENTS.md).
+func PaperConfig(proto Protocol, flows int) Config {
+	return Config{
+		Topology:     TopoFatTree,
+		K:            8,
+		HostsPerEdge: 16,
+		Protocol:     proto,
+		ShortFlows:   flows,
+		ArrivalRate:  2.5,
+	}
+}
+
+// SmallConfig returns a laptop-scale variant preserving the paper's
+// shape: a 4:1 over-subscribed K=4 FatTree with 64 hosts.
+func SmallConfig(proto Protocol, flows int) Config {
+	return Config{
+		Topology:     TopoFatTree,
+		K:            4,
+		HostsPerEdge: 8,
+		Protocol:     proto,
+		ShortFlows:   flows,
+		ArrivalRate:  2.5,
+	}
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Topology == "" {
+		c.Topology = TopoFatTree
+	}
+	if c.K == 0 {
+		c.K = 8
+	}
+	if c.HostsPerEdge == 0 {
+		// 2*K hosts per edge switch is the paper's 4:1 edge
+		// over-subscription at any FatTree arity (16 hosts/edge at K=8).
+		c.HostsPerEdge = 2 * c.K
+	}
+	if c.LinkRateBps == 0 {
+		c.LinkRateBps = 100_000_000
+	}
+	if c.LinkDelay == 0 {
+		c.LinkDelay = 20 * sim.Microsecond
+	}
+	if c.QueueLimit == 0 {
+		c.QueueLimit = 30
+	}
+	if c.Subflows == 0 {
+		c.Subflows = 8
+	}
+	if c.SwitchBytes == 0 {
+		c.SwitchBytes = 100_000
+	}
+	if c.LongFraction == 0 {
+		c.LongFraction = 1.0 / 3
+	}
+	if c.ShortFlowSize == 0 {
+		c.ShortFlowSize = 70_000
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 100 * sim.Millisecond
+	}
+	if c.Deadline == 0 {
+		c.Deadline = 200 * sim.Millisecond
+	}
+	if c.MaxSimTime == 0 {
+		c.MaxSimTime = 300 * sim.Second
+	}
+	switch c.Protocol {
+	case ProtoTCP, ProtoMPTCP, ProtoMMPTCP:
+	case ProtoDCTCP:
+		if c.ECNThreshold == 0 {
+			c.ECNThreshold = 10
+		}
+	default:
+		return fmt.Errorf("mmptcp: unknown protocol %q", c.Protocol)
+	}
+	return nil
+}
+
+// validateWorkload checks the fields only Run needs.
+func (c *Config) validateWorkload() error {
+	if c.ShortFlows <= 0 {
+		return fmt.Errorf("mmptcp: ShortFlows must be positive, got %d", c.ShortFlows)
+	}
+	if c.ArrivalRate <= 0 {
+		return fmt.Errorf("mmptcp: ArrivalRate must be positive, got %v", c.ArrivalRate)
+	}
+	if c.LongFraction >= 1 {
+		return fmt.Errorf("mmptcp: LongFraction %v must be below 1", c.LongFraction)
+	}
+	return nil
+}
+
+// buildNetwork constructs the configured topology.
+func (c *Config) buildNetwork(eng *sim.Engine) (*topology.Network, error) {
+	link := topology.LinkConfig{
+		RateBps:      c.LinkRateBps,
+		Delay:        c.LinkDelay,
+		QueueLimit:   c.QueueLimit,
+		ECNThreshold: c.ECNThreshold,
+	}
+	switch c.Topology {
+	case TopoFatTree:
+		ft := topology.NewFatTree(eng, topology.FatTreeConfig{
+			K: c.K, HostsPerEdge: c.HostsPerEdge, Link: link, Seed: c.Seed,
+		})
+		return &ft.Network, nil
+	case TopoMultiHomed:
+		m := topology.NewMultiHomed(eng, topology.MultiHomedConfig{
+			K: c.K, HostsPerEdge: c.HostsPerEdge, Link: link, Seed: c.Seed,
+		})
+		return &m.Network, nil
+	case TopoDumbbell:
+		d := topology.NewDumbbell(eng, topology.DumbbellConfig{
+			HostsPerSide:  c.K * c.HostsPerEdge / 2,
+			Link:          link,
+			BottleneckBps: c.BottleneckBps,
+		})
+		return &d.Network, nil
+	case TopoVL2:
+		v := topology.NewVL2(eng, topology.VL2Config{
+			DA:          c.K,
+			DI:          c.K,
+			HostsPerToR: c.HostsPerEdge,
+			Link:        link,
+			Seed:        c.Seed,
+		})
+		return &v.Network, nil
+	default:
+		return nil, fmt.Errorf("mmptcp: unknown topology %q", c.Topology)
+	}
+}

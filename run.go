@@ -1,0 +1,221 @@
+package mmptcp
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Results is everything one experiment run measured.
+type Results struct {
+	Config Config
+
+	// ShortFlows holds one record per short flow in spawn order — the
+	// data behind the paper's Figures 1(b)/1(c) scatter plots.
+	ShortFlows []metrics.FlowRecord
+	// ShortSummary aggregates them (Figure 1(a)'s mean/stddev and the
+	// §3 "116 ms (σ=101) vs 126 ms (σ=425)" comparison).
+	ShortSummary metrics.Summary
+	// DeadlineMissRate is the fraction of short flows that missed
+	// Config.Deadline — the paper's §1 framing of short-flow damage
+	// ("even a single RTO may result in flow deadline violation").
+	DeadlineMissRate float64
+
+	// LongFlows holds one record per background flow, with Delivered
+	// bytes for throughput.
+	LongFlows []metrics.FlowRecord
+	// LongThroughputMbps is the mean per-flow goodput of the long
+	// flows over their lifetime (§3: "both protocols achieve the same
+	// average throughput for long flows").
+	LongThroughputMbps float64
+
+	// Layers reports loss rate and utilisation per topology layer
+	// (§3: "average loss rate at the core and aggregation layers").
+	Layers map[netem.Layer]metrics.LayerStats
+
+	// PhaseSwitches counts MMPTCP connections that entered phase two.
+	PhaseSwitches int
+
+	Elapsed sim.Time // virtual time when the run ended
+	Events  uint64   // discrete events processed
+	Spawned int      // short flows actually spawned
+}
+
+// Run executes one experiment and returns its measurements.
+func Run(cfg Config) (*Results, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	if err := cfg.validateWorkload(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	net, err := cfg.buildNetwork(eng)
+	if err != nil {
+		return nil, err
+	}
+	rootRNG := sim.NewRNG(cfg.Seed)
+
+	longFrac := cfg.LongFraction
+	if longFrac < 0 {
+		longFrac = 0
+	}
+	assign := workload.BuildPermutation(rootRNG.Split(), len(net.Hosts), longFrac)
+	if cfg.HotspotFraction > 0 {
+		assign.ApplyHotspot(workload.HotspotConfig{
+			Fraction: cfg.HotspotFraction,
+			Host:     cfg.HotspotHost,
+		})
+	}
+
+	res := &Results{Config: cfg, Layers: make(map[netem.Layer]metrics.LayerStats)}
+
+	// Long background flows: start at t=0, run for the whole
+	// simulation.
+	type longFlow struct {
+		rec  metrics.FlowRecord
+		conn Conn
+	}
+	var longs []*longFlow
+	nextFlowID := uint64(1)
+	for _, src := range assign.LongSenders {
+		lf := &longFlow{rec: metrics.FlowRecord{
+			ID:    nextFlowID,
+			Src:   netem.NodeID(src),
+			Dst:   netem.NodeID(assign.Partner[src]),
+			Class: metrics.LongFlow,
+			Proto: string(cfg.Protocol),
+			Size:  -1,
+			Start: 0,
+		}}
+		conn, err := Dial(eng, net, cfg, DialConfig{
+			FlowID: nextFlowID,
+			Src:    src,
+			Dst:    assign.Partner[src],
+			Size:   -1,
+			RNG:    rootRNG.Split(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		lf.conn = conn
+		longs = append(longs, lf)
+		conn.Start()
+		nextFlowID++
+	}
+
+	// Short flows: Poisson arrivals, permutation destinations.
+	shorts := make(map[uint64]*shortFlow, cfg.ShortFlows)
+	var spawnOrder []uint64
+	completed := 0
+	shortBase := nextFlowID
+
+	spawner := &workload.PoissonShortFlows{
+		Eng:    eng,
+		Assign: &assign,
+		Rate:   cfg.ArrivalRate,
+		Size:   cfg.ShortFlowSize,
+		Total:  cfg.ShortFlows,
+		Warmup: cfg.Warmup,
+		BaseID: shortBase,
+	}
+	spawner.Spawn = func(id uint64, src, dst int, size int64) {
+		sf := &shortFlow{rec: metrics.FlowRecord{
+			ID:    id,
+			Src:   netem.NodeID(src),
+			Dst:   netem.NodeID(dst),
+			Class: metrics.ShortFlow,
+			Proto: string(cfg.Protocol),
+			Size:  size,
+			Start: eng.Now(),
+		}}
+		conn, err := Dial(eng, net, cfg, DialConfig{
+			FlowID: id, Src: src, Dst: dst, Size: size, RNG: rootRNG.Split(),
+		})
+		if err != nil {
+			panic(err) // config was validated; this cannot happen
+		}
+		sf.conn = conn
+		shorts[id] = sf
+		spawnOrder = append(spawnOrder, id)
+		conn.Receiver().OnComplete = func() {
+			sf.rec.Completed = true
+			sf.rec.End = eng.Now()
+			completed++
+			if completed == cfg.ShortFlows && spawner.Spawned() == cfg.ShortFlows {
+				eng.Stop()
+			}
+		}
+		conn.SetOnAllAcked(func() {
+			// Sender finished too: snapshot stats and free endpoints.
+			sf.fill()
+			sf.conn.Close()
+			sf.conn = nil
+		})
+		conn.Start()
+	}
+	spawner.Start(rootRNG.Split())
+
+	eng.RunUntil(cfg.MaxSimTime)
+	res.Elapsed = eng.Now()
+	res.Events = eng.Processed()
+	res.Spawned = spawner.Spawned()
+
+	// Collect short-flow records in spawn order.
+	for _, id := range spawnOrder {
+		sf := shorts[id]
+		if sf.conn != nil { // still open at sim end
+			sf.fill()
+			sf.conn.Close()
+			sf.conn = nil
+		}
+		res.ShortFlows = append(res.ShortFlows, sf.rec)
+	}
+	res.ShortSummary = metrics.Summarize(res.ShortFlows)
+	res.DeadlineMissRate = metrics.DeadlineMissRate(res.ShortFlows, cfg.Deadline)
+
+	// Long flows: goodput over their lifetime.
+	var tputSum float64
+	for _, lf := range longs {
+		lf.rec.Delivered = lf.conn.Receiver().Delivered()
+		st := lf.conn.Stats()
+		lf.rec.Timeouts = st.Timeouts
+		lf.rec.FastRetransmits = st.FastRetransmits
+		lf.rec.Retransmissions = st.Retransmissions
+		lf.rec.SegmentsSent = st.SegmentsSent
+		lf.rec.End = res.Elapsed
+		if mc, ok := MMPTCPConn(lf.conn); ok && mc.Switched() {
+			res.PhaseSwitches++
+		}
+		lf.conn.Close()
+		tputSum += lf.rec.ThroughputMbps(res.Elapsed)
+		res.LongFlows = append(res.LongFlows, lf.rec)
+	}
+	if len(longs) > 0 {
+		res.LongThroughputMbps = tputSum / float64(len(longs))
+	}
+
+	res.Layers = metrics.LayerReport(net.Links, res.Elapsed)
+	return res, nil
+}
+
+// shortFlow pairs one short flow's record with its live connection.
+type shortFlow struct {
+	rec  metrics.FlowRecord
+	conn Conn
+}
+
+// fill snapshots sender statistics into the record (called once, when
+// the sender finishes or the simulation ends).
+func (sf *shortFlow) fill() {
+	if sf.conn == nil {
+		return
+	}
+	st := sf.conn.Stats()
+	sf.rec.Timeouts = st.Timeouts
+	sf.rec.FastRetransmits = st.FastRetransmits
+	sf.rec.Retransmissions = st.Retransmissions
+	sf.rec.SegmentsSent = st.SegmentsSent
+	sf.rec.Delivered = sf.conn.Receiver().Delivered()
+}
