@@ -15,6 +15,7 @@ package mmptcp
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -120,22 +121,54 @@ func BenchmarkXSwitchingStrategies(b *testing.B) {
 	}
 }
 
-// BenchmarkXLoadSweep is the roadmap's network-load experiment.
+// BenchmarkXLoadSweep is the roadmap's network-load experiment: the
+// whole 6-config scan (3 arrival rates x 2 protocols) runs as one
+// RunSweep per iteration, the way cmd/figures -fig load drives it.
 func BenchmarkXLoadSweep(b *testing.B) {
+	var configs []Config
 	for _, rate := range []float64{1, 5, 10} {
 		for _, proto := range []Protocol{ProtoMPTCP, ProtoMMPTCP} {
-			b.Run(fmt.Sprintf("rate=%v/%s", rate, proto), func(b *testing.B) {
-				for i := 0; i < b.N; i++ {
-					cfg := benchConfig(proto, 250)
-					cfg.ArrivalRate = rate
-					res, err := Run(cfg)
-					if err != nil {
-						b.Fatal(err)
-					}
-					reportShort(b, res)
-				}
-			})
+			cfg := benchConfig(proto, 250)
+			cfg.ArrivalRate = rate
+			configs = append(configs, cfg)
 		}
+	}
+	for i := 0; i < b.N; i++ {
+		results, err := RunSweep(configs, SweepOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var mean float64
+		for _, res := range results {
+			mean += res.ShortSummary.MeanMs
+		}
+		b.ReportMetric(mean/float64(len(results)), "scan-mean-fct-ms")
+	}
+}
+
+// BenchmarkRunSweepWorkers measures the sweep layer itself: the same
+// fixed scan with one worker (the old serial behaviour) and with every
+// CPU. On an N-core machine the parallel variant should complete close
+// to N times faster, with identical results (TestRunSweepDeterminism).
+func BenchmarkRunSweepWorkers(b *testing.B) {
+	var configs []Config
+	for i := 0; i < 6; i++ {
+		cfg := benchConfig(ProtoMMPTCP, 150)
+		cfg.Seed = uint64(i + 1)
+		configs = append(configs, cfg)
+	}
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RunSweep(configs, SweepOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -253,21 +286,27 @@ func BenchmarkXDupThreshPolicies(b *testing.B) {
 
 // BenchmarkXSwitchBytesSweep ablates the data-volume threshold: too low
 // and short flows leak into the MPTCP phase (back to tiny windows); too
-// high and long flows linger on a single window.
+// high and long flows linger on a single window. The five thresholds run
+// as one RunSweep per iteration.
 func BenchmarkXSwitchBytesSweep(b *testing.B) {
-	for _, kb := range []int64{35, 70, 100, 200, 500} {
-		b.Run(fmt.Sprintf("switch=%dKB", kb), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				cfg := benchConfig(ProtoMMPTCP, 300)
-				cfg.SwitchBytes = kb * 1000
-				res, err := Run(cfg)
-				if err != nil {
-					b.Fatal(err)
-				}
-				reportShort(b, res)
-				b.ReportMetric(float64(res.PhaseSwitches), "phase-switches")
-			}
-		})
+	kbs := []int64{35, 70, 100, 200, 500}
+	configs := make([]Config, len(kbs))
+	for i, kb := range kbs {
+		configs[i] = benchConfig(ProtoMMPTCP, 300)
+		configs[i].SwitchBytes = kb * 1000
+	}
+	for i := 0; i < b.N; i++ {
+		results, err := RunSweep(configs, SweepOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var switches float64
+		for _, res := range results {
+			switches += float64(res.PhaseSwitches)
+		}
+		// Summed across the scan — a different quantity from the
+		// per-config "phase-switches" other benchmarks report.
+		b.ReportMetric(switches, "scan-phase-switches")
 	}
 }
 

@@ -6,12 +6,19 @@
 //
 //	figures -fig 1a|1b|1c|stats|switch|load|hotspot|multihomed|coexist|all
 //	        [-scale small|medium|paper] [-flows N] [-seed S] [-csv]
+//	        [-workers N]
 //
 // Scales:
 //
 //	small  — K=4 FatTree, 64 hosts, 4:1 (default; minutes of wall time)
 //	medium — the paper's 512-host 4:1 FatTree, reduced flow count
 //	paper  — 512 hosts and the paper's 100k short flows (hours)
+//
+// Every multi-config scan runs through mmptcp.RunSweep, so independent
+// experiments fan out across all CPUs (-workers caps them; -workers 1
+// reproduces the old serial behaviour). Each run is seeded from its own
+// Config, so the tables are byte-identical for a given -seed at any
+// worker count — parallelism changes only the wall time.
 //
 // Absolute milliseconds differ from the paper's ns-3 testbed; the shapes
 // (who wins, by how much, where the tails are) are the reproduction
@@ -32,11 +39,12 @@ import (
 )
 
 var (
-	figFlag   = flag.String("fig", "all", "artefact to regenerate: 1a, 1b, 1c, stats, switch, load, hotspot, multihomed, coexist, dupthresh, threshold, dctcp, incast, all")
-	scaleFlag = flag.String("scale", "small", "experiment scale: small, medium, paper")
-	flowsFlag = flag.Int("flows", 0, "override the number of short flows")
-	seedFlag  = flag.Uint64("seed", 1, "random seed")
-	csvFlag   = flag.Bool("csv", false, "emit per-flow CSV instead of tables where applicable")
+	figFlag     = flag.String("fig", "all", "artefact to regenerate: 1a, 1b, 1c, stats, switch, load, hotspot, multihomed, coexist, dupthresh, threshold, dctcp, incast, all")
+	scaleFlag   = flag.String("scale", "small", "experiment scale: small, medium, paper")
+	flowsFlag   = flag.Int("flows", 0, "override the number of short flows")
+	seedFlag    = flag.Uint64("seed", 1, "random seed")
+	csvFlag     = flag.Bool("csv", false, "emit per-flow CSV instead of tables where applicable")
+	workersFlag = flag.Int("workers", 0, "max concurrent experiments (0 = all CPUs, 1 = serial)")
 )
 
 func main() {
@@ -118,18 +126,41 @@ func run(cfg mmptcp.Config) *mmptcp.Results {
 	return res
 }
 
+// sweep fans a scan's configs across the worker pool and returns the
+// results in config order, so the callers' tables print exactly as the
+// old serial loops did. Tables appear only once the whole scan is done,
+// so progress goes to stderr — at -scale paper a scan is hours of wall
+// time and a silent stdout is indistinguishable from a hang.
+func sweep(configs []mmptcp.Config) []*mmptcp.Results {
+	results, err := mmptcp.RunSweep(configs, mmptcp.SweepOptions{
+		Workers: *workersFlag,
+		OnResult: func(done, total, index int) {
+			fmt.Fprintf(os.Stderr, "sweep: %d/%d experiments done\n", done, total)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return results
+}
+
 // fig1a reproduces Figure 1(a): MPTCP short-flow completion time (mean
 // and standard deviation) versus the number of subflows, 1 through 9.
 func fig1a() {
-	fmt.Println("== Figure 1(a): MPTCP short-flow FCT vs number of subflows ==")
-	fmt.Println("subflows  mean_ms  std_ms   p50_ms   p99_ms   rto_flows  completed")
+	configs := make([]mmptcp.Config, 0, 9)
 	for n := 1; n <= 9; n++ {
 		cfg := baseConfig(mmptcp.ProtoMPTCP)
 		cfg.Subflows = n
-		res := run(cfg)
+		configs = append(configs, cfg)
+	}
+	results := sweep(configs)
+	fmt.Println("== Figure 1(a): MPTCP short-flow FCT vs number of subflows ==")
+	fmt.Println("subflows  mean_ms  std_ms   p50_ms   p99_ms   rto_flows  completed")
+	for i, res := range results {
 		s := res.ShortSummary
 		fmt.Printf("%8d  %7.1f  %7.1f  %7.1f  %7.1f  %9d  %9d\n",
-			n, s.MeanMs, s.StdMs, s.P50Ms, s.P99Ms, s.WithRTO, s.Count)
+			configs[i].Subflows, s.MeanMs, s.StdMs, s.P50Ms, s.P99Ms, s.WithRTO, s.Count)
 	}
 	fmt.Println()
 }
@@ -178,16 +209,20 @@ func bar(frac float64) string {
 // per-layer loss rates, long-flow throughput and utilisation for MPTCP
 // vs MMPTCP under the identical workload.
 func stats() {
+	protos := []mmptcp.Protocol{mmptcp.ProtoMPTCP, mmptcp.ProtoMMPTCP}
+	configs := make([]mmptcp.Config, len(protos))
+	for i, proto := range protos {
+		configs[i] = baseConfig(proto)
+	}
+	results := sweep(configs)
 	fmt.Println("== §3 statistics: MPTCP (8 subflows) vs MMPTCP (PS + 8 subflows) ==")
 	fmt.Println("proto    mean_ms  std_ms  rto_flows  loss_edge-agg  loss_agg-core  long_tput_mbps  util_agg-core")
-	for _, proto := range []mmptcp.Protocol{mmptcp.ProtoMPTCP, mmptcp.ProtoMMPTCP} {
-		cfg := baseConfig(proto)
-		res := run(cfg)
+	for i, res := range results {
 		s := res.ShortSummary
 		edge := res.Layers[netem.LayerEdge]
 		agg := res.Layers[netem.LayerAgg]
 		fmt.Printf("%-7s  %7.1f  %6.1f  %9d  %13.5f  %13.5f  %14.2f  %13.3f\n",
-			proto, s.MeanMs, s.StdMs, s.WithRTO, edge.LossRate, agg.LossRate,
+			protos[i], s.MeanMs, s.StdMs, s.WithRTO, edge.LossRate, agg.LossRate,
 			res.LongThroughputMbps, agg.Utilisation)
 	}
 	fmt.Println()
@@ -195,31 +230,46 @@ func stats() {
 
 // switching compares the two §2 phase-switching strategies.
 func switching() {
+	strats := []core.Strategy{core.SwitchDataVolume, core.SwitchCongestionEvent}
+	configs := make([]mmptcp.Config, len(strats))
+	for i, strat := range strats {
+		configs[i] = baseConfig(mmptcp.ProtoMMPTCP)
+		configs[i].Strategy = strat
+	}
+	results := sweep(configs)
 	fmt.Println("== §2 ablation: MMPTCP switching strategies ==")
 	fmt.Println("strategy          mean_ms  std_ms  rto_flows  long_tput_mbps  phase_switches")
-	for _, strat := range []core.Strategy{core.SwitchDataVolume, core.SwitchCongestionEvent} {
-		cfg := baseConfig(mmptcp.ProtoMMPTCP)
-		cfg.Strategy = strat
-		res := run(cfg)
+	for i, res := range results {
 		s := res.ShortSummary
 		fmt.Printf("%-16s  %7.1f  %6.1f  %9d  %14.2f  %14d\n",
-			strat, s.MeanMs, s.StdMs, s.WithRTO, res.LongThroughputMbps, res.PhaseSwitches)
+			strats[i], s.MeanMs, s.StdMs, s.WithRTO, res.LongThroughputMbps, res.PhaseSwitches)
 	}
 	fmt.Println()
 }
 
 // load sweeps the short-flow arrival rate (roadmap: "network loads").
 func load() {
-	fmt.Println("== Roadmap: effect of network load (arrival-rate sweep) ==")
-	fmt.Println("rate_per_sender  proto    mean_ms  std_ms  rto_flows")
+	type point struct {
+		rate  float64
+		proto mmptcp.Protocol
+	}
+	var points []point
+	var configs []mmptcp.Config
 	for _, rate := range []float64{1, 2.5, 5, 10} {
 		for _, proto := range []mmptcp.Protocol{mmptcp.ProtoMPTCP, mmptcp.ProtoMMPTCP} {
 			cfg := baseConfig(proto)
 			cfg.ArrivalRate = rate
-			res := run(cfg)
-			s := res.ShortSummary
-			fmt.Printf("%15.1f  %-7s  %7.1f  %6.1f  %9d\n", rate, proto, s.MeanMs, s.StdMs, s.WithRTO)
+			points = append(points, point{rate, proto})
+			configs = append(configs, cfg)
 		}
+	}
+	results := sweep(configs)
+	fmt.Println("== Roadmap: effect of network load (arrival-rate sweep) ==")
+	fmt.Println("rate_per_sender  proto    mean_ms  std_ms  rto_flows")
+	for i, res := range results {
+		s := res.ShortSummary
+		fmt.Printf("%15.1f  %-7s  %7.1f  %6.1f  %9d\n",
+			points[i].rate, points[i].proto, s.MeanMs, s.StdMs, s.WithRTO)
 	}
 	fmt.Println()
 }
@@ -227,15 +277,19 @@ func load() {
 // hotspot redirects half the short senders at one host (roadmap:
 // "effect of hotspots").
 func hotspot() {
+	protos := []mmptcp.Protocol{mmptcp.ProtoMPTCP, mmptcp.ProtoMMPTCP}
+	configs := make([]mmptcp.Config, len(protos))
+	for i, proto := range protos {
+		configs[i] = baseConfig(proto)
+		configs[i].HotspotFraction = 0.5
+		configs[i].HotspotHost = 0
+	}
+	results := sweep(configs)
 	fmt.Println("== Roadmap: hotspot (50% of short senders target host 0) ==")
 	fmt.Println("proto    mean_ms  std_ms  p99_ms   rto_flows")
-	for _, proto := range []mmptcp.Protocol{mmptcp.ProtoMPTCP, mmptcp.ProtoMMPTCP} {
-		cfg := baseConfig(proto)
-		cfg.HotspotFraction = 0.5
-		cfg.HotspotHost = 0
-		res := run(cfg)
+	for i, res := range results {
 		s := res.ShortSummary
-		fmt.Printf("%-7s  %7.1f  %6.1f  %7.1f  %9d\n", proto, s.MeanMs, s.StdMs, s.P99Ms, s.WithRTO)
+		fmt.Printf("%-7s  %7.1f  %6.1f  %7.1f  %9d\n", protos[i], s.MeanMs, s.StdMs, s.P99Ms, s.WithRTO)
 	}
 	fmt.Println()
 }
@@ -244,14 +298,18 @@ func hotspot() {
 // (roadmap: "multi-homed network topologies ... the more parallel paths
 // at the access layer, the higher the burst tolerance").
 func multihomed() {
+	topos := []mmptcp.TopologyKind{mmptcp.TopoFatTree, mmptcp.TopoMultiHomed}
+	configs := make([]mmptcp.Config, len(topos))
+	for i, topo := range topos {
+		configs[i] = baseConfig(mmptcp.ProtoMMPTCP)
+		configs[i].Topology = topo
+	}
+	results := sweep(configs)
 	fmt.Println("== Roadmap: single- vs dual-homed FatTree (MMPTCP) ==")
 	fmt.Println("topology    mean_ms  std_ms  p99_ms   rto_flows")
-	for _, topo := range []mmptcp.TopologyKind{mmptcp.TopoFatTree, mmptcp.TopoMultiHomed} {
-		cfg := baseConfig(mmptcp.ProtoMMPTCP)
-		cfg.Topology = topo
-		res := run(cfg)
+	for i, res := range results {
 		s := res.ShortSummary
-		fmt.Printf("%-10s  %7.1f  %6.1f  %7.1f  %9d\n", topo, s.MeanMs, s.StdMs, s.P99Ms, s.WithRTO)
+		fmt.Printf("%-10s  %7.1f  %6.1f  %7.1f  %9d\n", topos[i], s.MeanMs, s.StdMs, s.P99Ms, s.WithRTO)
 	}
 	fmt.Println()
 }
@@ -259,49 +317,61 @@ func multihomed() {
 // dupthresh ablates the PS duplicate-ACK threshold policy (§2's two
 // proposed mechanisms plus the standard-threshold strawman).
 func dupthresh() {
+	modes := []core.ThresholdMode{
+		core.ThresholdStandard, core.ThresholdTopology, core.ThresholdAdaptive,
+	}
+	configs := make([]mmptcp.Config, len(modes))
+	for i, mode := range modes {
+		configs[i] = baseConfig(mmptcp.ProtoMMPTCP)
+		configs[i].PSThreshold = mode
+	}
+	results := sweep(configs)
 	fmt.Println("== §2 ablation: packet-scatter dup-ACK threshold policy ==")
 	fmt.Println("policy    mean_ms  std_ms  rto_flows  short_retx")
-	for _, mode := range []core.ThresholdMode{
-		core.ThresholdStandard, core.ThresholdTopology, core.ThresholdAdaptive,
-	} {
-		cfg := baseConfig(mmptcp.ProtoMMPTCP)
-		cfg.PSThreshold = mode
-		res := run(cfg)
+	for i, res := range results {
 		s := res.ShortSummary
 		var retx int64
 		for _, r := range res.ShortFlows {
 			retx += r.Retransmissions
 		}
-		fmt.Printf("%-8s  %7.1f  %6.1f  %9d  %10d\n", mode, s.MeanMs, s.StdMs, s.WithRTO, retx)
+		fmt.Printf("%-8s  %7.1f  %6.1f  %9d  %10d\n", modes[i], s.MeanMs, s.StdMs, s.WithRTO, retx)
 	}
 	fmt.Println()
 }
 
 // thresholdSweep ablates the data-volume switching threshold.
 func thresholdSweep() {
+	kbs := []int64{35, 70, 100, 200, 500}
+	configs := make([]mmptcp.Config, len(kbs))
+	for i, kb := range kbs {
+		configs[i] = baseConfig(mmptcp.ProtoMMPTCP)
+		configs[i].SwitchBytes = kb * 1000
+	}
+	results := sweep(configs)
 	fmt.Println("== §2 ablation: data-volume switching threshold ==")
 	fmt.Println("switch_kb  mean_ms  std_ms  rto_flows  long_tput_mbps")
-	for _, kb := range []int64{35, 70, 100, 200, 500} {
-		cfg := baseConfig(mmptcp.ProtoMMPTCP)
-		cfg.SwitchBytes = kb * 1000
-		res := run(cfg)
+	for i, res := range results {
 		s := res.ShortSummary
 		fmt.Printf("%9d  %7.1f  %6.1f  %9d  %14.2f\n",
-			kb, s.MeanMs, s.StdMs, s.WithRTO, res.LongThroughputMbps)
+			kbs[i], s.MeanMs, s.StdMs, s.WithRTO, res.LongThroughputMbps)
 	}
 	fmt.Println()
 }
 
 // dctcpBaseline adds the §1 single-path ECN baseline to the comparison.
 func dctcpBaseline() {
+	protos := []mmptcp.Protocol{mmptcp.ProtoTCP, mmptcp.ProtoDCTCP, mmptcp.ProtoMMPTCP}
+	configs := make([]mmptcp.Config, len(protos))
+	for i, proto := range protos {
+		configs[i] = baseConfig(proto)
+	}
+	results := sweep(configs)
 	fmt.Println("== §1 context: DCTCP baseline (needs switch ECN) vs MMPTCP ==")
 	fmt.Println("proto    mean_ms  std_ms  rto_flows  long_tput_mbps  avg_queue_edge")
-	for _, proto := range []mmptcp.Protocol{mmptcp.ProtoTCP, mmptcp.ProtoDCTCP, mmptcp.ProtoMMPTCP} {
-		cfg := baseConfig(proto)
-		res := run(cfg)
+	for i, res := range results {
 		s := res.ShortSummary
 		fmt.Printf("%-7s  %7.1f  %6.1f  %9d  %14.2f  %14.2f\n",
-			proto, s.MeanMs, s.StdMs, s.WithRTO, res.LongThroughputMbps,
+			protos[i], s.MeanMs, s.StdMs, s.WithRTO, res.LongThroughputMbps,
 			res.Layers[netem.LayerEdge].AvgQueue)
 	}
 	fmt.Println()

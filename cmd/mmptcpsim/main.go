@@ -7,11 +7,20 @@
 //
 //	mmptcpsim -proto mptcp  -flows 1000
 //	mmptcpsim -proto mmptcp -flows 1000
+//
+// With -seeds N > 1 the same experiment is replicated N times under
+// seeds derived from -seed (one independent RNG stream per replicate),
+// fanned across CPUs by mmptcp.RunSweep, and summarised with
+// across-replicate mean and standard deviation — the cheap way to put
+// error bars on any single configuration.
+//
+//	mmptcpsim -proto mmptcp -flows 1000 -seeds 8
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"time"
@@ -41,7 +50,9 @@ func main() {
 		longFrac = flag.Float64("long-fraction", 1.0/3, "fraction of hosts running long flows (negative: none)")
 		hotFrac  = flag.Float64("hotspot-fraction", 0, "fraction of short senders redirected to the hotspot host")
 		hotHost  = flag.Int("hotspot-host", 0, "hotspot destination host")
-		seed     = flag.Uint64("seed", 1, "random seed")
+		seed     = flag.Uint64("seed", 1, "random seed (with -seeds: base for derived replicate seeds)")
+		seeds    = flag.Int("seeds", 1, "replicate the experiment under this many derived seeds")
+		workers  = flag.Int("workers", 0, "max concurrent replicates (0 = all CPUs)")
 		maxSimS  = flag.Float64("max-sim-seconds", 300, "virtual-time safety cap")
 		perflow  = flag.Bool("perflow", false, "emit per-flow CSV to stdout")
 		quiet    = flag.Bool("q", false, "suppress the report (useful with -perflow)")
@@ -88,6 +99,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *seeds > 1 {
+		if *perflow {
+			fmt.Fprintln(os.Stderr, "-perflow is a single-run report; drop -seeds or -perflow")
+			os.Exit(2)
+		}
+		replicate(cfg, *seeds, *workers, *seed)
+		return
+	}
+
 	start := time.Now()
 	res, err := mmptcp.Run(cfg)
 	if err != nil {
@@ -107,6 +127,68 @@ func main() {
 				r.Timeouts, r.FastRetransmits, r.Retransmissions, r.Completed)
 		}
 	}
+}
+
+// replicate runs n copies of cfg under seeds derived from base via
+// independent RNG streams, in parallel, and reports each replicate plus
+// across-replicate aggregates.
+func replicate(cfg mmptcp.Config, n, workers int, base uint64) {
+	configs := make([]mmptcp.Config, n)
+	for i := range configs {
+		configs[i] = cfg
+		// Same derivation RunSweep's SweepOptions.Seed uses, applied
+		// unconditionally so base 0 still yields distinct replicates.
+		configs[i].Seed = mmptcp.NewRNGStream(base, uint64(i)).Uint64()
+	}
+	start := time.Now()
+	results, err := mmptcp.RunSweep(configs, mmptcp.SweepOptions{
+		Workers: workers,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	wall := time.Since(start)
+
+	fmt.Printf("protocol=%s topology=%s(k=%d,hosts/edge=%d) queue=%d base-seed=%d replicates=%d\n",
+		cfg.Protocol, cfg.Topology, cfg.K, cfg.HostsPerEdge, cfg.QueueLimit, base, n)
+	effective := workers
+	if effective <= 0 {
+		effective = mmptcp.DefaultSweepWorkers()
+	}
+	if effective > n {
+		effective = n // the pool never runs more workers than jobs
+	}
+	fmt.Printf("ran %d experiments in %v wall (workers=%d)\n\n",
+		n, wall.Round(time.Millisecond), effective)
+	fmt.Println("replicate        seed  mean_ms  std_ms  p99_ms  rto_flows  miss_pct  long_tput_mbps")
+	var means, tputs []float64
+	for i, res := range results {
+		s := res.ShortSummary
+		fmt.Printf("%9d  %10d  %7.1f  %6.1f  %6.1f  %9d  %8.1f  %14.2f\n",
+			i, res.Config.Seed, s.MeanMs, s.StdMs, s.P99Ms, s.WithRTO,
+			res.DeadlineMissRate*100, res.LongThroughputMbps)
+		means = append(means, s.MeanMs)
+		tputs = append(tputs, res.LongThroughputMbps)
+	}
+	mMean, mStd := meanStd(means)
+	tMean, tStd := meanStd(tputs)
+	fmt.Printf("\nacross replicates: mean FCT %.1f ms (σ=%.1f), long goodput %.2f Mb/s (σ=%.2f)\n",
+		mMean, mStd, tMean, tStd)
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(std / float64(len(xs)))
 }
 
 func report(res *mmptcp.Results, wall time.Duration) {

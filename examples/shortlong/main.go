@@ -31,17 +31,24 @@ func main() {
 	}
 
 	fmt.Printf("%d short flows (70KB, Poisson) vs 21 long flows on a 64-host 4:1 FatTree\n\n", flows)
+	// The three transports are independent experiments: fan them across
+	// the CPUs with RunSweep instead of running them back to back. The
+	// table is identical either way — each run is sealed by its seed.
+	protos := []mmptcp.Protocol{mmptcp.ProtoTCP, mmptcp.ProtoMPTCP, mmptcp.ProtoMMPTCP}
+	configs := make([]mmptcp.Config, len(protos))
+	for i, proto := range protos {
+		configs[i] = mmptcp.SmallConfig(proto, flows)
+		configs[i].Seed = 7
+	}
+	results, err := mmptcp.RunSweep(configs, mmptcp.SweepOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("proto    short_mean  short_std  short_p99  rto_flows  long_tput")
-	for _, proto := range []mmptcp.Protocol{mmptcp.ProtoTCP, mmptcp.ProtoMPTCP, mmptcp.ProtoMMPTCP} {
-		cfg := mmptcp.SmallConfig(proto, flows)
-		cfg.Seed = 7
-		res, err := mmptcp.Run(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for i, res := range results {
 		s := res.ShortSummary
 		fmt.Printf("%-7s  %7.1fms  %7.1fms  %7.1fms  %9d  %6.1f Mb/s\n",
-			proto, s.MeanMs, s.StdMs, s.P99Ms, s.WithRTO, res.LongThroughputMbps)
+			protos[i], s.MeanMs, s.StdMs, s.P99Ms, s.WithRTO, res.LongThroughputMbps)
 	}
 	fmt.Println("\nreading the table:")
 	fmt.Println("  - tcp: decent short flows, poor long-flow throughput (ECMP collisions)")

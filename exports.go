@@ -49,6 +49,12 @@ func NewEngine() *Engine { return sim.NewEngine() }
 // NewRNG returns a deterministic generator for the given seed.
 func NewRNG(seed uint64) *RNG { return sim.NewRNG(seed) }
 
+// NewRNGStream returns a deterministic generator on an explicit stream.
+// Streams with the same seed are statistically independent — this is the
+// derivation RunSweep uses to give each run of a replicate set its own
+// seed (see SweepOptions.Seed).
+func NewRNGStream(seed, stream uint64) *RNG { return sim.NewRNGStream(seed, stream) }
+
 // NewSampler creates a time-series sampler on the engine.
 func NewSampler(eng *Engine, interval SimTime) *Sampler {
 	return trace.NewSampler(eng, interval)

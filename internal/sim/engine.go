@@ -4,6 +4,7 @@ package sim
 // Engine.At and may be cancelled before they fire. An Event must not be
 // reused after it has fired or been cancelled.
 type Event struct {
+	eng       *Engine
 	at        Time
 	seq       uint64
 	fn        func()
@@ -14,17 +15,25 @@ type Event struct {
 // Cancel prevents the event from firing. Cancelling an event that has
 // already fired or been cancelled is a no-op.
 func (ev *Event) Cancel() {
-	if ev == nil {
+	if ev == nil || ev.cancelled || ev.fired {
 		return
 	}
 	ev.cancelled = true
 	ev.fn = nil
+	if ev.eng != nil {
+		ev.eng.noteCancelled()
+	}
 }
 
 // Pending reports whether the event is still scheduled to fire.
 func (ev *Event) Pending() bool {
 	return ev != nil && !ev.cancelled && !ev.fired
 }
+
+// compactFloor is the minimum heap size below which cancelled events are
+// simply left to be discarded lazily: compaction of a tiny heap saves
+// nothing and would only add overhead to short runs.
+const compactFloor = 64
 
 // Engine is a single-threaded discrete-event simulator. The zero value is
 // not ready for use; call NewEngine.
@@ -33,7 +42,14 @@ type Engine struct {
 	heap      []*Event
 	seq       uint64
 	processed uint64
+	cancelled int // cancelled events still sitting in the heap
 	stopped   bool
+
+	// interrupt, when set, is polled every interruptEvery processed
+	// events by RunUntil; returning true stops the run (see
+	// SetInterrupt).
+	interrupt      func() bool
+	interruptEvery uint64
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -47,9 +63,22 @@ func (e *Engine) Now() Time { return e.now }
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// Pending returns the number of events currently scheduled (including
-// cancelled events that have not yet been discarded).
-func (e *Engine) Pending() int { return len(e.heap) }
+// Pending returns the number of live events currently scheduled. Cancelled
+// events awaiting discard are not counted.
+func (e *Engine) Pending() int { return len(e.heap) - e.cancelled }
+
+// SetInterrupt installs a poll function checked every `every` processed
+// events during RunUntil; if it returns true the run stops as if Stop had
+// been called. Passing a nil fn (or every == 0) removes the hook. Run can
+// be resumed afterwards, so this composes with external cancellation
+// (e.g. a context) without poisoning the engine.
+func (e *Engine) SetInterrupt(every uint64, fn func() bool) {
+	if fn == nil || every == 0 {
+		e.interrupt, e.interruptEvery = nil, 0
+		return
+	}
+	e.interrupt, e.interruptEvery = fn, every
+}
 
 // Schedule runs fn after delay. A negative delay is treated as zero.
 // Events scheduled for the same instant fire in scheduling order.
@@ -70,7 +99,7 @@ func (e *Engine) At(t Time, fn func()) *Event {
 		panic("sim: nil event callback")
 	}
 	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	ev := &Event{eng: e, at: t, seq: e.seq, fn: fn}
 	e.push(ev)
 	return ev
 }
@@ -96,6 +125,7 @@ func (e *Engine) RunUntil(limit Time) {
 		}
 		e.pop()
 		if ev.cancelled {
+			e.cancelled--
 			continue
 		}
 		e.now = ev.at
@@ -104,6 +134,9 @@ func (e *Engine) RunUntil(limit Time) {
 		ev.fn = nil
 		e.processed++
 		fn()
+		if e.interrupt != nil && e.processed%e.interruptEvery == 0 && e.interrupt() {
+			e.stopped = true
+		}
 	}
 	if !e.stopped && e.now < limit && limit < Time(1<<63-1) {
 		e.now = limit
@@ -117,6 +150,7 @@ func (e *Engine) Step() bool {
 		ev := e.heap[0]
 		e.pop()
 		if ev.cancelled {
+			e.cancelled--
 			continue
 		}
 		e.now = ev.at
@@ -128,6 +162,39 @@ func (e *Engine) Step() bool {
 		return true
 	}
 	return false
+}
+
+// noteCancelled records an in-heap cancellation and compacts the heap once
+// cancelled events outnumber live ones. Without this, a cancelled event
+// occupies its heap slot (pinning its closure) until its timestamp is
+// reached — for long-lived retransmit timers that are armed and re-armed
+// on every ACK, the dead entries dominate the queue of a big run.
+func (e *Engine) noteCancelled() {
+	e.cancelled++
+	if len(e.heap) >= compactFloor && e.cancelled > len(e.heap)/2 {
+		e.compact()
+	}
+}
+
+// compact removes every cancelled event from the heap and restores the
+// heap invariant. O(n), amortised against the >n/2 cancellations that
+// triggered it.
+func (e *Engine) compact() {
+	kept := e.heap[:0]
+	for _, ev := range e.heap {
+		if !ev.cancelled {
+			kept = append(kept, ev)
+		}
+	}
+	// Clear the tail so dropped events are collectable.
+	for i := len(kept); i < len(e.heap); i++ {
+		e.heap[i] = nil
+	}
+	e.heap = kept
+	e.cancelled = 0
+	for i := len(e.heap)/2 - 1; i >= 0; i-- {
+		e.siftDown(i)
+	}
 }
 
 // less orders events by time, breaking ties by insertion sequence so that
@@ -160,7 +227,11 @@ func (e *Engine) pop() {
 	if n == 0 {
 		return
 	}
-	i := 0
+	e.siftDown(0)
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.heap)
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i

@@ -77,6 +77,114 @@ func TestEngineCancel(t *testing.T) {
 	}
 }
 
+// TestEngineCancelCompaction exercises the retransmit-timer pattern: a
+// large population of far-future events that are cancelled long before
+// their timestamps. The heap must shed them eagerly rather than carrying
+// them to their deadlines, and Pending must count only live events.
+func TestEngineCancelCompaction(t *testing.T) {
+	e := NewEngine()
+	const n = 10 * compactFloor
+	far := make([]*Event, n)
+	for i := range far {
+		far[i] = e.Schedule(Time(i+1)*Second, func() { t.Error("cancelled event fired") })
+	}
+	live := e.Schedule(Millisecond, func() {})
+	if got := e.Pending(); got != n+1 {
+		t.Fatalf("Pending = %d before cancels, want %d", got, n+1)
+	}
+	for _, ev := range far {
+		ev.Cancel()
+	}
+	if got := e.Pending(); got != 1 {
+		t.Errorf("Pending = %d after cancels, want 1", got)
+	}
+	// Compaction must have physically shed almost all dead entries: only
+	// a below-floor residue may remain for lazy discard.
+	if got := len(e.heap); got > compactFloor {
+		t.Errorf("heap holds %d events after mass cancel, want <= %d", got, compactFloor)
+	}
+	if e.cancelled != len(e.heap)-1 {
+		t.Errorf("cancelled counter = %d with %d in heap, want %d", e.cancelled, len(e.heap), len(e.heap)-1)
+	}
+	e.Run()
+	if live.Pending() {
+		t.Error("live event still pending after Run")
+	}
+	if e.Processed() != 1 {
+		t.Errorf("processed = %d, want 1", e.Processed())
+	}
+}
+
+// TestEngineCancelSmallHeapLazy checks that below the compaction floor,
+// cancelled events are discarded lazily but still never fire and never
+// inflate Pending.
+func TestEngineCancelSmallHeapLazy(t *testing.T) {
+	e := NewEngine()
+	a := e.Schedule(Second, func() { t.Error("cancelled event fired") })
+	b := e.Schedule(2*Second, func() { t.Error("cancelled event fired") })
+	fired := 0
+	e.Schedule(3*Second, func() { fired++ })
+	a.Cancel()
+	b.Cancel()
+	a.Cancel() // double-cancel must not double-count
+	if got := e.Pending(); got != 1 {
+		t.Errorf("Pending = %d, want 1", got)
+	}
+	e.Run()
+	if fired != 1 || e.Processed() != 1 {
+		t.Errorf("fired=%d processed=%d, want 1/1", fired, e.Processed())
+	}
+	if got := e.Pending(); got != 0 {
+		t.Errorf("Pending = %d after Run, want 0", got)
+	}
+}
+
+// TestEngineCancelDuringRun cancels via the pop path (RunUntil discards)
+// and checks the counter stays balanced so later compaction still works.
+func TestEngineCancelDuringRun(t *testing.T) {
+	e := NewEngine()
+	var evs []*Event
+	for i := 0; i < 2*compactFloor; i++ {
+		evs = append(evs, e.Schedule(Time(i+1)*Millisecond, func() {}))
+	}
+	// Cancel just under the compaction threshold so the dead events are
+	// discarded by the run loop instead.
+	for _, ev := range evs[:compactFloor] {
+		ev.Cancel()
+	}
+	e.Run()
+	if e.cancelled != 0 {
+		t.Errorf("cancelled counter = %d after Run, want 0", e.cancelled)
+	}
+	if want := uint64(compactFloor); e.Processed() != want {
+		t.Errorf("processed = %d, want %d", e.Processed(), want)
+	}
+}
+
+func TestEngineSetInterrupt(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 100; i++ {
+		e.Schedule(Time(i)*Millisecond, func() { count++ })
+	}
+	stop := false
+	e.SetInterrupt(10, func() bool { return stop })
+	e.Schedule(25*Millisecond, func() { stop = true })
+	e.Run()
+	// The poll fires every 10 processed events; the stop flag is set at
+	// t=25ms (the 26th processed event), so the run halts at the next
+	// multiple-of-10 poll after that.
+	if count >= 100 {
+		t.Fatalf("interrupt did not stop the run (count=%d)", count)
+	}
+	// Clearing the hook lets the run resume to completion.
+	e.SetInterrupt(0, nil)
+	e.Run()
+	if count != 100 {
+		t.Errorf("count = %d after resume, want 100", count)
+	}
+}
+
 func TestEngineRunUntil(t *testing.T) {
 	e := NewEngine()
 	var count int

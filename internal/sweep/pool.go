@@ -1,0 +1,120 @@
+// Package sweep is a bounded worker pool for fanning many independent
+// jobs — in this repository, whole simulation experiments — across OS
+// threads. It is deliberately generic: a job is an index plus a closure,
+// results land in a slice at their job's index, and nothing about the
+// pool depends on what a job computes.
+//
+// Design constraints, in order:
+//
+//  1. Determinism. Results are identified by index, never by completion
+//     order, so a sweep's output is identical for any worker count.
+//  2. Bounded memory. Exactly Workers jobs are in flight; dispatch is an
+//     atomic counter, not a buffered queue, so a million-job sweep holds
+//     one slice and Workers goroutines.
+//  3. Fail fast. The first job error cancels the shared context; workers
+//     finish their current job and exit. The lowest-indexed observed
+//     error is returned.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options tunes one Run call.
+type Options struct {
+	// Workers is the maximum number of jobs in flight. Zero or negative
+	// means runtime.GOMAXPROCS(0). It is further capped at the job count.
+	Workers int
+
+	// OnDone, if non-nil, is called after each successful job with the
+	// number of jobs finished so far, the total, and the finished job's
+	// index. Calls are serialised by the pool, so OnDone may touch
+	// shared state (progress bars, counters) without locking.
+	OnDone func(done, total, index int)
+}
+
+// Run executes job(ctx, i) for every i in [0, n) on a pool of
+// Options.Workers goroutines and returns the n results in index order.
+//
+// The context passed to jobs is derived from ctx and cancelled as soon as
+// any job fails, so long-running jobs can abort early by observing it.
+// Run itself returns the lowest-indexed error it observed, wrapped with
+// the job index; if ctx is cancelled from outside, Run drains in-flight
+// jobs and returns ctx's error.
+func Run[T any](ctx context.Context, n int, opts Options, job func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	results := make([]T, n)
+	var (
+		next     atomic.Int64 // dispatch cursor
+		mu       sync.Mutex   // guards done, firstErr*, serialises OnDone
+		done     int
+		firstErr error
+		errIndex = -1
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				res, err := job(ctx, i)
+				if err != nil {
+					// Cancellation fallout (a sibling failed first, or
+					// the caller cancelled) is not this job's fault:
+					// don't let it shadow the root-cause error.
+					if ctxErr := ctx.Err(); ctxErr == nil || !errors.Is(err, ctxErr) {
+						mu.Lock()
+						if errIndex < 0 || i < errIndex {
+							firstErr, errIndex = err, i
+						}
+						mu.Unlock()
+					}
+					cancel()
+					return
+				}
+				mu.Lock()
+				results[i] = res
+				done++
+				if opts.OnDone != nil {
+					opts.OnDone(done, n, i)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if errIndex >= 0 {
+		return nil, fmt.Errorf("sweep: job %d: %w", errIndex, firstErr)
+	}
+	if err := parent.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

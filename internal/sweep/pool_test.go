@@ -1,0 +1,126 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunReturnsResultsInIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 100} {
+		got, err := Run(context.Background(), 50, Options{Workers: workers},
+			func(_ context.Context, i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 50 {
+			t.Fatalf("workers=%d: %d results, want 50", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: results[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	got, err := Run(context.Background(), 0, Options{},
+		func(_ context.Context, i int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("Run(0 jobs) = %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestRunConcurrencyBound(t *testing.T) {
+	const workers = 3
+	var inflight, peak atomic.Int64
+	_, err := Run(context.Background(), 40, Options{Workers: workers},
+		func(_ context.Context, i int) (struct{}, error) {
+			n := inflight.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inflight.Add(-1)
+			return struct{}{}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak in-flight jobs = %d, want <= %d", p, workers)
+	}
+}
+
+func TestRunFirstErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	_, err := Run(context.Background(), 1000, Options{Workers: 4},
+		func(ctx context.Context, i int) (int, error) {
+			ran.Add(1)
+			if i == 5 {
+				return 0, boom
+			}
+			return i, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Errorf("all %d jobs ran despite early error", n)
+	}
+}
+
+func TestRunExternalCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	_, err := Run(ctx, 1000, Options{Workers: 2},
+		func(ctx context.Context, i int) (int, error) {
+			if ran.Add(1) == 10 {
+				cancel()
+			}
+			return i, nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Errorf("all %d jobs ran despite cancellation", n)
+	}
+}
+
+func TestRunOnDoneSerialisedAndComplete(t *testing.T) {
+	var seen []int
+	var lastDone int
+	got, err := Run(context.Background(), 64, Options{
+		Workers: 8,
+		OnDone: func(done, total, index int) {
+			// Serialised by the pool: plain slice append is safe, and
+			// the done counter must be strictly increasing.
+			if done != lastDone+1 || total != 64 {
+				t.Errorf("OnDone(done=%d, total=%d) after done=%d", done, total, lastDone)
+			}
+			lastDone = done
+			seen = append(seen, index)
+		},
+	}, func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 64 || len(seen) != 64 {
+		t.Fatalf("results=%d callbacks=%d, want 64/64", len(got), len(seen))
+	}
+	marks := make([]bool, 64)
+	for _, i := range seen {
+		if marks[i] {
+			t.Fatalf("OnDone fired twice for index %d", i)
+		}
+		marks[i] = true
+	}
+}

@@ -1,6 +1,8 @@
 package mmptcp
 
 import (
+	"context"
+
 	"repro/internal/metrics"
 	"repro/internal/netem"
 	"repro/internal/sim"
@@ -44,6 +46,22 @@ type Results struct {
 
 // Run executes one experiment and returns its measurements.
 func Run(cfg Config) (*Results, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// ctxPollEvents is how many simulation events RunContext processes
+// between context polls — frequent enough to abort a stuck run in
+// milliseconds of wall time, rare enough to be free on the hot path.
+const ctxPollEvents = 8192
+
+// RunContext is Run with cancellation: the simulation polls ctx every few
+// thousand events and aborts with ctx's error once it is cancelled. This
+// is what lets RunSweep tear down a whole fleet of in-flight experiments
+// the moment one of them fails.
+func RunContext(ctx context.Context, cfg Config) (*Results, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.applyDefaults(); err != nil {
 		return nil, err
 	}
@@ -51,6 +69,9 @@ func Run(cfg Config) (*Results, error) {
 		return nil, err
 	}
 	eng := sim.NewEngine()
+	if ctx.Done() != nil {
+		eng.SetInterrupt(ctxPollEvents, func() bool { return ctx.Err() != nil })
+	}
 	net, err := cfg.buildNetwork(eng)
 	if err != nil {
 		return nil, err
@@ -158,6 +179,9 @@ func Run(cfg Config) (*Results, error) {
 	spawner.Start(rootRNG.Split())
 
 	eng.RunUntil(cfg.MaxSimTime)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res.Elapsed = eng.Now()
 	res.Events = eng.Processed()
 	res.Spawned = spawner.Spawned()
