@@ -4,12 +4,13 @@
 //
 // Usage:
 //
-//	figures -fig 1a|1b|1c|stats|switch|load|hotspot|multihomed|coexist|all
-//	        [-scale small|medium|paper] [-flows N] [-seed S] [-csv]
+//	figures -fig 1a|1b|1c|stats|switch|load|hotspot|multihomed|coexist|failure|all
+//	        [-scale tiny|small|medium|paper] [-flows N] [-seed S] [-csv]
 //	        [-workers N]
 //
 // Scales:
 //
+//	tiny   — K=4 FatTree, 16 hosts, 100 flows (CI smoke; seconds)
 //	small  — K=4 FatTree, 64 hosts, 4:1 (default; minutes of wall time)
 //	medium — the paper's 512-host 4:1 FatTree, reduced flow count
 //	paper  — 512 hosts and the paper's 100k short flows (hours)
@@ -39,8 +40,8 @@ import (
 )
 
 var (
-	figFlag     = flag.String("fig", "all", "artefact to regenerate: 1a, 1b, 1c, stats, switch, load, hotspot, multihomed, coexist, dupthresh, threshold, dctcp, incast, all")
-	scaleFlag   = flag.String("scale", "small", "experiment scale: small, medium, paper")
+	figFlag     = flag.String("fig", "all", "artefact to regenerate: 1a, 1b, 1c, stats, switch, load, hotspot, multihomed, coexist, dupthresh, threshold, dctcp, incast, failure, all")
+	scaleFlag   = flag.String("scale", "small", "experiment scale: tiny, small, medium, paper")
 	flowsFlag   = flag.Int("flows", 0, "override the number of short flows")
 	seedFlag    = flag.Uint64("seed", 1, "random seed")
 	csvFlag     = flag.Bool("csv", false, "emit per-flow CSV instead of tables where applicable")
@@ -76,6 +77,8 @@ func main() {
 		dctcpBaseline()
 	case "incast":
 		incast()
+	case "failure":
+		failure()
 	case "all":
 		fig1a()
 		fig1bc(mmptcp.ProtoMPTCP, "1b")
@@ -90,6 +93,7 @@ func main() {
 		thresholdSweep()
 		dctcpBaseline()
 		incast()
+		failure()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *figFlag)
 		os.Exit(2)
@@ -100,6 +104,21 @@ func main() {
 func baseConfig(proto mmptcp.Protocol) mmptcp.Config {
 	var cfg mmptcp.Config
 	switch *scaleFlag {
+	case "tiny":
+		// CI smoke scale: 16 hosts, enough flows to exercise every code
+		// path in seconds.
+		cfg = mmptcp.Config{
+			Topology:     mmptcp.TopoFatTree,
+			K:            4,
+			HostsPerEdge: 2,
+			Protocol:     proto,
+			ShortFlows:   100,
+			ArrivalRate:  2.5,
+			// Smoke runs must terminate promptly even when a scenario
+			// strands single-path flows in RTO backoff; stragglers are
+			// reported as incomplete rather than simulated for minutes.
+			MaxSimTime: 30 * sim.Second,
+		}
 	case "small":
 		cfg = mmptcp.SmallConfig(proto, 1000)
 	case "medium":
@@ -426,6 +445,83 @@ func incast() {
 		}
 		fmt.Printf("%-7s  %2d/%-2d  %8.1f  %7.1f  %8d\n",
 			proto, len(fcts), senders, mean, max, timeouts)
+	}
+	fmt.Println()
+}
+
+// failure is the network-dynamics scan (roadmap: robustness under
+// churn): agg-core cables are cut shortly after the short flows start
+// arriving and repaired mid-run, and the scan sweeps (a) how many cables
+// die and (b) how long routing takes to reconverge around them, for TCP
+// vs MPTCP vs MMPTCP. Short-flow FCT tails show who survives the
+// blackhole window; long-flow goodput shows who recovers after repair.
+func failure() {
+	const (
+		failAt   = 200 * sim.Millisecond
+		repairAt = 700 * sim.Millisecond
+	)
+	protos := []mmptcp.Protocol{mmptcp.ProtoTCP, mmptcp.ProtoMPTCP, mmptcp.ProtoMMPTCP}
+
+	type point struct {
+		proto      mmptcp.Protocol
+		cables     int
+		reconverge sim.Time
+	}
+	var points []point
+	var configs []mmptcp.Config
+	seen := make(map[point]bool)
+	add := func(proto mmptcp.Protocol, cables int, reconverge sim.Time) {
+		if cables == 0 {
+			// Healthy baseline: no fault plan is installed, so no
+			// reconvergence delay applies — record 0 so the table says
+			// what actually ran.
+			reconverge = 0
+		}
+		// The two scans share their crossing point (the fixed-cables /
+		// fixed-reconvergence row); run it once.
+		p := point{proto, cables, reconverge}
+		if seen[p] {
+			return
+		}
+		seen[p] = true
+		cfg := baseConfig(proto)
+		// A blackholed single-path flow can sit in RTO backoff for
+		// hundreds of virtual seconds; cap the run so it surfaces as a
+		// deadline miss instead of dominating the scan's wall time.
+		if cfg.MaxSimTime == 0 || cfg.MaxSimTime > 60*sim.Second {
+			cfg.MaxSimTime = 60 * sim.Second
+		}
+		if cables > 0 {
+			cfg.Faults = mmptcp.FaultsConfig{
+				Events:          mmptcp.FailCables(mmptcp.LayerAgg, cables, failAt, repairAt),
+				ReconvergeDelay: reconverge,
+			}
+		}
+		points = append(points, p)
+		configs = append(configs, cfg)
+	}
+	// Scan 1: failed-cable count at a fixed 10ms reconvergence delay.
+	for _, cables := range []int{0, 1, 2, 4} {
+		for _, proto := range protos {
+			add(proto, cables, 10*sim.Millisecond)
+		}
+	}
+	// Scan 2: reconvergence delay at a fixed 2 dead cables.
+	for _, rc := range []sim.Time{0, 10 * sim.Millisecond, 50 * sim.Millisecond, 200 * sim.Millisecond} {
+		for _, proto := range protos {
+			add(proto, 2, rc)
+		}
+	}
+	results := sweep(configs)
+	fmt.Println("== Roadmap: robustness under core-link failure (agg-core cables cut at 200ms, repaired at 700ms) ==")
+	fmt.Println("cables  reconv_ms  proto    mean_ms  p99_ms   max_ms   rto_flows  miss_pct  long_tput_mbps  blackholed  noroute")
+	for i, res := range results {
+		p := points[i]
+		s := res.ShortSummary
+		fmt.Printf("%6d  %9.1f  %-7s  %7.1f  %7.1f  %7.1f  %9d  %8.1f  %14.2f  %10d  %7d\n",
+			p.cables, p.reconverge.Milliseconds(), p.proto,
+			s.MeanMs, s.P99Ms, s.MaxMs, s.WithRTO, res.DeadlineMissRate*100,
+			res.LongThroughputMbps, res.Blackholed, res.NoRouteDrops)
 	}
 	fmt.Println()
 }

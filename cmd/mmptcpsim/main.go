@@ -50,6 +50,13 @@ func main() {
 		longFrac = flag.Float64("long-fraction", 1.0/3, "fraction of hosts running long flows (negative: none)")
 		hotFrac  = flag.Float64("hotspot-fraction", 0, "fraction of short senders redirected to the hotspot host")
 		hotHost  = flag.Int("hotspot-host", 0, "hotspot destination host")
+		failN    = flag.Int("fail-cables", 0, "fail both directions of this many cables (0 = healthy network)")
+		failLay  = flag.String("fail-layer", "agg", "layer of the failed cables: host, edge, agg, core")
+		failAtMs = flag.Float64("fail-at-ms", 200, "failure time, milliseconds")
+		repairMs = flag.Float64("repair-at-ms", 0, "repair time, milliseconds (0 = never repaired)")
+		reconvMs = flag.Float64("reconverge-ms", 10, "routing reconvergence delay, milliseconds")
+		lossRate = flag.Float64("degrade-loss", 0, "degrade the -fail-cables cables with this random-loss probability instead of hard failure")
+		capFact  = flag.Float64("degrade-capacity", 0, "scale the -fail-cables cables' capacity by this factor in (0,1] instead of hard failure")
 		seed     = flag.Uint64("seed", 1, "random seed (with -seeds: base for derived replicate seeds)")
 		seeds    = flag.Int("seeds", 1, "replicate the experiment under this many derived seeds")
 		workers  = flag.Int("workers", 0, "max concurrent replicates (0 = all CPUs)")
@@ -87,6 +94,39 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown -switch-strategy %q\n", *strategy)
 		os.Exit(2)
 	}
+	if (*lossRate > 0 || *capFact > 0) && *failN == 0 {
+		fmt.Fprintln(os.Stderr, "-degrade-loss/-degrade-capacity need -fail-cables to select how many cables to degrade")
+		os.Exit(2)
+	}
+	if *failN > 0 {
+		var layer mmptcp.Layer
+		switch *failLay {
+		case "host":
+			layer = mmptcp.LayerHost
+		case "edge":
+			layer = mmptcp.LayerEdge
+		case "agg":
+			layer = mmptcp.LayerAgg
+		case "core":
+			layer = mmptcp.LayerCore
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -fail-layer %q\n", *failLay)
+			os.Exit(2)
+		}
+		at := sim.FromSeconds(*failAtMs / 1000)
+		repair := sim.FromSeconds(*repairMs / 1000)
+		if *lossRate > 0 || *capFact > 0 {
+			factor := *capFact
+			if factor == 0 {
+				factor = 1 // loss-only degradation keeps full capacity
+			}
+			cfg.Faults.Events = mmptcp.DegradeCables(layer, *failN, at, repair, factor, 0, *lossRate)
+		} else {
+			cfg.Faults.Events = mmptcp.FailCables(layer, *failN, at, repair)
+		}
+		cfg.Faults.ReconvergeDelay = sim.FromSeconds(*reconvMs / 1000)
+	}
+
 	switch *psThresh {
 	case "topology":
 		cfg.PSThreshold = core.ThresholdTopology
@@ -227,5 +267,13 @@ func report(res *mmptcp.Results, wall time.Duration) {
 		}
 		fmt.Printf("  %-4s  links=%-4d loss=%.5f util=%.3f max_queue=%d\n",
 			layer, ls.Links, ls.LossRate, ls.Utilisation, ls.MaxQueue)
+		if ls.Blackholed > 0 || ls.RandomDrops > 0 || ls.DownLinks > 0 {
+			fmt.Printf("        failed: blackholed=%d (%d bytes) random_drops=%d down_links=%d time_in_failure=%v\n",
+				ls.Blackholed, ls.BlackholedBytes, ls.RandomDrops, ls.DownLinks, ls.DownTime)
+		}
+	}
+	if res.FaultEvents > 0 {
+		fmt.Printf("\nfaults: %d scheduled events, %d packets blackholed, %d no-route drops\n",
+			res.FaultEvents, res.Blackholed, res.NoRouteDrops)
 	}
 }

@@ -1,0 +1,77 @@
+// Linkfailure demonstrates the network-dynamics subsystem: two agg-core
+// cables are cut 200ms into the run — while short flows are arriving —
+// and repaired at 700ms, with a 20ms routing reconvergence delay. Until
+// routing notices, the dead links blackhole everything sprayed onto
+// them; afterwards ECMP squeezes around the corpses until the repair
+// (plus another reconvergence delay) restores the fabric.
+//
+// The output is the paper's robustness claim in one table: single-path
+// TCP flows hashed onto a dead path stall for the blackhole window plus
+// RTO backoff (a catastrophic worst case), while MMPTCP's packet
+// scatter loses only a slice of each window and recovers via duplicate
+// ACKs on the surviving paths — and its long flows barely notice.
+//
+//	go run ./examples/linkfailure [flows]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+)
+
+import mmptcp "repro"
+
+func main() {
+	flows := 300
+	if len(os.Args) > 1 {
+		n, err := strconv.Atoi(os.Args[1])
+		if err != nil {
+			log.Fatalf("bad flow count %q", os.Args[1])
+		}
+		flows = n
+	}
+
+	// The failure plan: both directions of the first two agg-core
+	// cables die at 200ms and come back at 700ms. Routing takes 20ms to
+	// react to each transition — first the blackhole window, then the
+	// lag before the repaired links rejoin ECMP.
+	faultPlan := mmptcp.FaultsConfig{
+		Events:          mmptcp.FailCables(mmptcp.LayerAgg, 2, 200*mmptcp.Millisecond, 700*mmptcp.Millisecond),
+		ReconvergeDelay: 20 * mmptcp.Millisecond,
+	}
+
+	fmt.Printf("%d short flows on a 64-host 4:1 FatTree; 2 agg-core cables dead 200..700ms, 20ms reconvergence\n\n", flows)
+	protos := []mmptcp.Protocol{mmptcp.ProtoTCP, mmptcp.ProtoMPTCP, mmptcp.ProtoMMPTCP}
+	var configs []mmptcp.Config
+	for _, proto := range protos {
+		healthy := mmptcp.SmallConfig(proto, flows)
+		healthy.Seed = 7
+		healthy.MaxSimTime = 60 * mmptcp.Second
+		faulted := healthy
+		faulted.Faults = faultPlan // the workload is identical; only the network differs
+		configs = append(configs, healthy, faulted)
+	}
+	results, err := mmptcp.RunSweep(configs, mmptcp.SweepOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("proto    network   short_mean  short_max  rto_flows  miss_pct  long_tput  blackholed  noroute")
+	for i, res := range results {
+		state := "healthy"
+		if i%2 == 1 {
+			state = "faulted"
+		}
+		s := res.ShortSummary
+		fmt.Printf("%-7s  %-8s  %8.1fms  %7.1fms  %9d  %7.1f%%  %5.1f Mb/s  %10d  %7d\n",
+			protos[i/2], state, s.MeanMs, s.MaxMs, s.WithRTO,
+			res.DeadlineMissRate*100, res.LongThroughputMbps,
+			res.Blackholed, res.NoRouteDrops)
+	}
+	fmt.Println("\nreading the table:")
+	fmt.Println("  - tcp: the unlucky flows hash onto the dead path and stall -> worst-case FCT explodes")
+	fmt.Println("  - mptcp: subflows on dead paths go quiet; the rest carry on, but tiny windows still RTO")
+	fmt.Println("  - mmptcp: scatter spreads each flow over every path, so the failure costs a slice,")
+	fmt.Println("    not a stall; long-flow goodput recovers once routing reconverges after the repair")
+}

@@ -1,6 +1,7 @@
 package mmptcp
 
 import (
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/netem"
 	"repro/internal/sim"
@@ -33,7 +34,51 @@ type (
 	// Sampler records time series (cwnd, RTT, queue depth) from a
 	// running simulation.
 	Sampler = trace.Sampler
+
+	// FaultsConfig is the network-dynamics section of Config: timed
+	// failure/degradation events, an optional sampled failure model, and
+	// the routing reconvergence delay.
+	FaultsConfig = faults.Config
+	// FaultEvent is one timed network mutation (link down/up,
+	// degradation, restore) addressed by layer and link index.
+	FaultEvent = faults.Event
+	// FaultModel samples failures from per-layer MTBF/MTTR statistics.
+	FaultModel = faults.Model
+	// FaultLayerModel is one layer's MTBF/MTTR failure statistics.
+	FaultLayerModel = faults.LayerModel
+	// Layer classifies where in the topology a link sits.
+	Layer = netem.Layer
 )
+
+// Fault event kinds.
+const (
+	FaultLinkDown = faults.LinkDown
+	FaultLinkUp   = faults.LinkUp
+	FaultDegrade  = faults.Degrade
+	FaultRestore  = faults.Restore
+)
+
+// Topology layers, for addressing fault targets.
+const (
+	LayerHost = netem.LayerHost
+	LayerEdge = netem.LayerEdge
+	LayerAgg  = netem.LayerAgg
+	LayerCore = netem.LayerCore
+)
+
+// FailCables builds LinkDown events for both directions of the first n
+// cables at a topology layer at time `at`, with matching LinkUp repair
+// events at upAt (0 = never repaired). See faults.FailCables.
+func FailCables(layer Layer, n int, at, upAt SimTime) []FaultEvent {
+	return faults.FailCables(layer, n, at, upAt)
+}
+
+// DegradeCables builds Degrade events (capacity factor, extra delay,
+// random loss) for both directions of the first n cables at a layer,
+// with Restore events at restoreAt (0 = never restored).
+func DegradeCables(layer Layer, n int, at, restoreAt SimTime, capacityFactor float64, extraDelay SimTime, lossRate float64) []FaultEvent {
+	return faults.DegradeCables(layer, n, at, restoreAt, capacityFactor, extraDelay, lossRate)
+}
 
 // Virtual-time units for use with SimTime.
 const (

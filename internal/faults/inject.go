@@ -1,0 +1,164 @@
+package faults
+
+import (
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// Injector owns a resolved, scheduled fault plan for one run. Install
+// builds it from a Config and the network's links, registers every
+// mutation on the engine, and the plan then replays itself as the clock
+// advances — the run needs no further involvement.
+type Injector struct {
+	eng        *sim.Engine
+	reconverge sim.Time
+
+	// Events is the resolved schedule (explicit plus sampled), in firing
+	// order, for reporting and debugging.
+	Events []Event
+
+	// Overlap counters. A link can be failed by several sources at once
+	// (an explicit schedule plus a sampled model); outages must union,
+	// not last-event-wins, or an early repair from one source would
+	// silently cut short another source's outage. dataDown drives
+	// Link.SetDown, routeDown drives Link.SetRouteDead (reconvergence
+	// delayed); each link changes state only on 0<->1 transitions.
+	dataDown  map[*netem.Link]int
+	routeDown map[*netem.Link]int
+}
+
+// failLink registers one more failure source on l, taking the link down
+// on the first.
+func (inj *Injector) failLink(l *netem.Link) {
+	inj.dataDown[l]++
+	if inj.dataDown[l] == 1 {
+		l.SetDown(true)
+	}
+}
+
+// repairLink removes one failure source from l, bringing the link up
+// when the last is gone. Unmatched repairs (a LinkUp with no prior
+// LinkDown) are no-ops.
+func (inj *Injector) repairLink(l *netem.Link) {
+	if inj.dataDown[l] == 0 {
+		return
+	}
+	inj.dataDown[l]--
+	if inj.dataDown[l] == 0 {
+		l.SetDown(false)
+	}
+}
+
+// deadenRoute / reviveRoute are the routing-plane twins of
+// failLink/repairLink, invoked reconvergence-delayed.
+func (inj *Injector) deadenRoute(l *netem.Link) {
+	inj.routeDown[l]++
+	if inj.routeDown[l] == 1 {
+		l.SetRouteDead(true)
+	}
+}
+
+func (inj *Injector) reviveRoute(l *netem.Link) {
+	if inj.routeDown[l] == 0 {
+		return
+	}
+	inj.routeDown[l]--
+	if inj.routeDown[l] == 0 {
+		l.SetRouteDead(false)
+	}
+}
+
+// Install resolves cfg against the given links (grouped by their layer,
+// in slice order — builders append them deterministically), samples the
+// model if present using rng, validates everything, and schedules the
+// mutations on eng. horizon bounds model sampling (typically the run's
+// MaxSimTime). rng is only consumed when the config needs randomness
+// (model sampling, loss injection), always in a fixed order.
+func Install(eng *sim.Engine, links []*netem.Link, cfg Config, rng *sim.RNG, horizon sim.Time) (*Injector, error) {
+	byLayer := make(map[netem.Layer][]*netem.Link)
+	for _, l := range links {
+		byLayer[l.Layer()] = append(byLayer[l.Layer()], l)
+	}
+	linksAt := func(layer netem.Layer) int { return len(byLayer[layer]) }
+
+	events := append([]Event(nil), cfg.Events...)
+	if len(cfg.Model.Layers) > 0 {
+		sampled, err := cfg.Model.Sample(rng.Split(), func(layer netem.Layer) int {
+			return len(byLayer[layer]) / 2
+		}, horizon)
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, sampled...)
+	}
+	if err := validate(events, linksAt); err != nil {
+		return nil, err
+	}
+	sortEvents(events)
+
+	inj := &Injector{
+		eng:        eng,
+		reconverge: cfg.ReconvergeDelay,
+		Events:     events,
+		dataDown:   make(map[*netem.Link]int),
+		routeDown:  make(map[*netem.Link]int),
+	}
+	for _, ev := range events {
+		ev := ev
+		targets := byLayer[ev.Layer]
+		if ev.Index >= 0 {
+			targets = targets[ev.Index : ev.Index+1]
+		}
+		// Loss injection needs an RNG per event; split it now so RNG
+		// consumption is fixed at install time regardless of when (or
+		// whether) the event fires before the run ends.
+		var lossRNG *sim.RNG
+		if ev.Kind == Degrade && ev.LossRate > 0 {
+			lossRNG = rng.Split()
+		}
+		targets2 := targets
+		eng.At(ev.At, func() { inj.apply(ev, targets2, lossRNG) })
+	}
+	return inj, nil
+}
+
+// apply executes one event against its resolved target links.
+func (inj *Injector) apply(ev Event, targets []*netem.Link, lossRNG *sim.RNG) {
+	for _, l := range targets {
+		l := l
+		switch ev.Kind {
+		case LinkDown:
+			inj.failLink(l)
+			// The blackhole window: data keeps dying on the link until
+			// routing notices, reconverge later.
+			if inj.reconverge > 0 {
+				inj.eng.Schedule(inj.reconverge, func() { inj.deadenRoute(l) })
+			} else {
+				inj.deadenRoute(l)
+			}
+		case LinkUp:
+			inj.repairLink(l)
+			// Repair is symmetric: the link carries traffic the instant
+			// it is up, but ECMP only re-admits it after reconvergence.
+			if inj.reconverge > 0 {
+				inj.eng.Schedule(inj.reconverge, func() { inj.reviveRoute(l) })
+			} else {
+				inj.reviveRoute(l)
+			}
+		case Degrade:
+			if ev.CapacityFactor != 0 {
+				l.SetRateFactor(ev.CapacityFactor)
+			}
+			if ev.ExtraDelay != 0 {
+				l.SetExtraDelay(ev.ExtraDelay)
+			}
+			if ev.LossRate != 0 {
+				l.SetLossRate(ev.LossRate, lossRNG)
+			}
+		case Restore:
+			l.SetRateFactor(1)
+			l.SetExtraDelay(0)
+			l.SetLossRate(0, nil)
+		}
+	}
+}

@@ -191,11 +191,25 @@ func (s Summary) String() string {
 type LayerStats struct {
 	Links       int
 	TxPackets   int64
-	Drops       int64
+	Drops       int64   // queue-overflow drops
+	DropBytes   int64   // bytes lost to queue overflow
 	LossRate    float64 // drops / (drops + enqueued)
 	Utilisation float64 // mean busy fraction across links
 	MaxQueue    int
 	AvgQueue    float64 // time-averaged occupancy, packets, mean across links
+
+	// Failure accounting (the faults subsystem's view of the layer).
+	// Blackholed counts packets swallowed by down links — new arrivals,
+	// drained queues and in-flight deliveries suppressed by a failure.
+	Blackholed      int64
+	BlackholedBytes int64
+	// RandomDrops counts packets lost to injected random-loss
+	// degradation, distinct from queue overflow.
+	RandomDrops int64
+	// DownTime is the summed time-in-failure across the layer's links,
+	// and DownLinks how many of them were down at least once.
+	DownTime  sim.Time
+	DownLinks int
 }
 
 // LayerReport computes per-layer loss and utilisation over the links,
@@ -204,10 +218,13 @@ type LayerStats struct {
 func LayerReport(links []*netem.Link, elapsed sim.Time) map[netem.Layer]LayerStats {
 	out := make(map[netem.Layer]LayerStats)
 	type acc struct {
-		enq, drops, tx int64
-		util, avgQ     float64
-		links          int
-		maxQ           int
+		enq, drops, dropB, tx  int64
+		blackholed, blackholeB int64
+		randomDrops            int64
+		util, avgQ             float64
+		links, downLinks       int
+		maxQ                   int
+		downTime               sim.Time
 	}
 	accs := make(map[netem.Layer]*acc)
 	for _, l := range links {
@@ -219,7 +236,15 @@ func LayerReport(links []*netem.Link, elapsed sim.Time) map[netem.Layer]LayerSta
 		a.links++
 		a.enq += l.Stats.Enqueued
 		a.drops += l.Stats.Drops
+		a.dropB += l.Stats.DropBytes
 		a.tx += l.Stats.TxPackets
+		a.blackholed += l.Stats.Blackholed
+		a.blackholeB += l.Stats.BlackholedBytes
+		a.randomDrops += l.Stats.RandomDrops
+		if td := l.TimeDown(elapsed); td > 0 {
+			a.downTime += td
+			a.downLinks++
+		}
 		a.util += l.Stats.Utilisation(elapsed)
 		a.avgQ += l.Stats.AvgQueue(elapsed)
 		if l.Stats.MaxQueue > a.maxQ {
@@ -228,10 +253,16 @@ func LayerReport(links []*netem.Link, elapsed sim.Time) map[netem.Layer]LayerSta
 	}
 	for layer, a := range accs {
 		ls := LayerStats{
-			Links:     a.links,
-			TxPackets: a.tx,
-			Drops:     a.drops,
-			MaxQueue:  a.maxQ,
+			Links:           a.links,
+			TxPackets:       a.tx,
+			Drops:           a.drops,
+			DropBytes:       a.dropB,
+			MaxQueue:        a.maxQ,
+			Blackholed:      a.blackholed,
+			BlackholedBytes: a.blackholeB,
+			RandomDrops:     a.randomDrops,
+			DownTime:        a.downTime,
+			DownLinks:       a.downLinks,
 		}
 		if offered := a.enq + a.drops; offered > 0 {
 			ls.LossRate = float64(a.drops) / float64(offered)

@@ -225,3 +225,54 @@ func TestDeadlineMissRate(t *testing.T) {
 		t.Errorf("empty miss rate = %v", got)
 	}
 }
+
+func TestLayerReportFailureAccounting(t *testing.T) {
+	eng := sim.NewEngine()
+	a := netem.NewHost(eng, 1)
+	b := netem.NewHost(eng, 2)
+	failed := netem.NewLink(eng, a, b, 100_000_000, 0, 10, netem.LayerAgg)
+	healthy := netem.NewLink(eng, a, b, 100_000_000, 0, 10, netem.LayerAgg)
+	lossy := netem.NewLink(eng, a, b, 100_000_000, 0, 10, netem.LayerEdge)
+	lossy.SetLossRate(0.999999, sim.NewRNG(1)) // effectively always drops
+
+	eng.At(10*sim.Millisecond, func() { failed.SetDown(true) })
+	eng.At(11*sim.Millisecond, func() {
+		for i := 0; i < 3; i++ {
+			failed.Enqueue(&netem.Packet{Size: 1000, Flags: netem.FlagData})
+			lossy.Enqueue(&netem.Packet{Size: 1000, Flags: netem.FlagData})
+		}
+		healthy.Enqueue(&netem.Packet{Size: 1000, Flags: netem.FlagData})
+	})
+	eng.At(30*sim.Millisecond, func() { failed.SetDown(false) })
+	eng.At(40*sim.Millisecond, func() {})
+	eng.Run()
+
+	rep := LayerReport([]*netem.Link{failed, healthy, lossy}, eng.Now())
+	ag := rep[netem.LayerAgg]
+	if ag.Blackholed != 3 || ag.BlackholedBytes != 3000 {
+		t.Errorf("agg blackholed = %d (%d bytes), want 3 (3000)", ag.Blackholed, ag.BlackholedBytes)
+	}
+	if ag.DownLinks != 1 {
+		t.Errorf("agg down links = %d, want 1 (healthy link never failed)", ag.DownLinks)
+	}
+	if ag.DownTime != 20*sim.Millisecond {
+		t.Errorf("agg down time = %v, want 20ms", ag.DownTime)
+	}
+	if ag.Drops != 0 {
+		t.Errorf("blackholes leaked into queue drops: %d", ag.Drops)
+	}
+	ed := rep[netem.LayerEdge]
+	if ed.RandomDrops != 3 {
+		t.Errorf("edge random drops = %d, want 3", ed.RandomDrops)
+	}
+	if ed.Blackholed != 0 || ed.DownLinks != 0 {
+		t.Errorf("injected loss misreported as failure: %+v", ed)
+	}
+	// A still-open failure interval is included via the elapsed clock.
+	stillDown := netem.NewLink(eng, a, b, 100_000_000, 0, 10, netem.LayerCore)
+	stillDown.SetDown(true) // at eng.Now() == 40ms
+	rep2 := LayerReport([]*netem.Link{stillDown}, eng.Now()+5*sim.Millisecond)
+	if got := rep2[netem.LayerCore].DownTime; got != 5*sim.Millisecond {
+		t.Errorf("open-interval down time = %v, want 5ms", got)
+	}
+}

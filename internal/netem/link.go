@@ -51,6 +51,24 @@ type LinkStats struct {
 	BusyTime  sim.Time // cumulative serialisation time (for utilisation)
 	MaxQueue  int      // high-water mark of queue length (packets)
 
+	// Blackholed counts packets swallowed by the link while it was down:
+	// new arrivals, queued packets drained at failure time, and in-flight
+	// packets whose delivery was suppressed. These are the paper's
+	// robustness story — losses no transport signal announces except by
+	// silence (duplicate ACKs never come; only timers fire).
+	Blackholed      int64
+	BlackholedBytes int64
+
+	// RandomDrops counts packets dropped by injected random loss (link
+	// degradation), as opposed to queue overflow.
+	RandomDrops     int64
+	RandomDropBytes int64
+
+	// DownTime accumulates completed down intervals; see Link.TimeDown
+	// for the live total including a still-open failure.
+	DownTime  sim.Time
+	downSince sim.Time
+
 	// QueueIntegral accumulates queue length x time (packet·ns), for
 	// time-averaged occupancy; lastQChange is internal bookkeeping.
 	QueueIntegral int64
@@ -74,14 +92,32 @@ type Link struct {
 	eng  *sim.Engine
 	src  Node
 	dst  Node
-	rate int64    // bits per second
-	prop sim.Time // propagation delay
+	rate int64    // effective bits per second (baseRate scaled by degradation)
+	prop sim.Time // effective propagation delay (baseProp + extra)
+
+	baseRate int64
+	baseProp sim.Time
 
 	limit int // queue capacity in packets (not counting the in-flight one)
 	queue []*Packet
 	head  int // ring-buffer head index
 	count int // packets in queue
 	busy  bool
+
+	// Fault state. down is the data plane: a down link blackholes
+	// everything (in-flight, queued, and newly enqueued packets).
+	// routeDead is the control plane: once set, routers exclude the link
+	// from ECMP sets. The two are deliberately separate — the window
+	// between a link going down and routing noticing it (the
+	// reconvergence delay) is where failures hurt, and the faults
+	// subsystem drives them independently.
+	down      bool
+	routeDead bool
+
+	// lossRate, when positive, drops each enqueued packet with this
+	// probability (random-loss degradation); draws come from lossRNG.
+	lossRate float64
+	lossRNG  *sim.RNG
 
 	// ECNThreshold, when positive, marks packets with CE at enqueue if
 	// the instantaneous queue length is at or above the threshold
@@ -104,15 +140,17 @@ func NewLink(eng *sim.Engine, src, dst Node, rate int64, prop sim.Time, limit in
 		panic("netem: queue limit must be at least 1")
 	}
 	return &Link{
-		eng:   eng,
-		src:   src,
-		dst:   dst,
-		rate:  rate,
-		prop:  prop,
-		limit: limit,
-		queue: make([]*Packet, limit),
-		layer: layer,
-		name:  fmt.Sprintf("%d->%d", src.ID(), dst.ID()),
+		eng:      eng,
+		src:      src,
+		dst:      dst,
+		rate:     rate,
+		prop:     prop,
+		baseRate: rate,
+		baseProp: prop,
+		limit:    limit,
+		queue:    make([]*Packet, limit),
+		layer:    layer,
+		name:     fmt.Sprintf("%d->%d", src.ID(), dst.ID()),
 	}
 }
 
@@ -135,6 +173,103 @@ func (l *Link) PropDelay() sim.Time { return l.prop }
 // the packet currently being serialised.
 func (l *Link) QueueLen() int { return l.count }
 
+// Down reports whether the link is failed at the data plane.
+func (l *Link) Down() bool { return l.down }
+
+// RouteDead reports whether routers should exclude the link from ECMP
+// next-hop sets (set after the reconvergence delay following a failure).
+func (l *Link) RouteDead() bool { return l.routeDead }
+
+// SetRouteDead marks the link dead (or alive again) for routing. Routers
+// consult this through LiveLinks; the data plane is unaffected.
+func (l *Link) SetRouteDead(dead bool) { l.routeDead = dead }
+
+// SetDown fails or restores the link at the data plane. Failing a link
+// blackholes its queued packets immediately (the in-flight one and any
+// propagating packets are swallowed when their events fire) and makes
+// Enqueue blackhole new arrivals; restoring re-enables transmission.
+// Down time is accumulated in Stats for time-in-failure reporting.
+func (l *Link) SetDown(down bool) {
+	if down == l.down {
+		return
+	}
+	now := l.eng.Now()
+	if down {
+		l.down = true
+		l.Stats.downSince = now
+		// Drain the queue: everything buffered on a dead port is lost.
+		if l.count > 0 {
+			l.accountQueue()
+			for l.count > 0 {
+				p := l.queue[l.head]
+				l.queue[l.head] = nil
+				l.head = (l.head + 1) % l.limit
+				l.count--
+				l.blackhole(p)
+			}
+		}
+		return
+	}
+	l.down = false
+	l.Stats.DownTime += now - l.Stats.downSince
+}
+
+// TimeDown returns the total time the link has spent failed up to now,
+// including a still-open failure interval.
+func (l *Link) TimeDown(now sim.Time) sim.Time {
+	d := l.Stats.DownTime
+	if l.down && now > l.Stats.downSince {
+		d += now - l.Stats.downSince
+	}
+	return d
+}
+
+// SetRateFactor scales the link bandwidth to factor times its built rate
+// (capacity degradation). factor 1 restores full capacity. The packet
+// currently serialising finishes at the old rate; subsequent packets use
+// the new one. Factors outside (0, 1] panic: a fault cannot add capacity.
+func (l *Link) SetRateFactor(factor float64) {
+	if factor <= 0 || factor > 1 {
+		panic(fmt.Sprintf("netem: rate factor %v out of (0, 1]", factor))
+	}
+	r := int64(float64(l.baseRate) * factor)
+	if r < 1 {
+		r = 1
+	}
+	l.rate = r
+}
+
+// SetExtraDelay adds extra propagation delay on top of the built delay
+// (path degradation). Zero restores the built delay.
+func (l *Link) SetExtraDelay(extra sim.Time) {
+	if extra < 0 {
+		panic("netem: negative extra delay")
+	}
+	l.prop = l.baseProp + extra
+}
+
+// SetLossRate makes the link drop each enqueued packet with probability p
+// using draws from rng (deterministic under the single-threaded engine).
+// p = 0 disables injected loss; rng may then be nil.
+func (l *Link) SetLossRate(p float64, rng *sim.RNG) {
+	if p < 0 || p >= 1 {
+		if p != 0 {
+			panic(fmt.Sprintf("netem: loss rate %v out of [0, 1)", p))
+		}
+	}
+	if p > 0 && rng == nil {
+		panic("netem: loss rate needs an RNG")
+	}
+	l.lossRate = p
+	l.lossRNG = rng
+}
+
+// blackhole accounts one packet swallowed by the down link.
+func (l *Link) blackhole(p *Packet) {
+	l.Stats.Blackholed++
+	l.Stats.BlackholedBytes += int64(p.Size)
+}
+
 // String identifies the link for diagnostics.
 func (l *Link) String() string { return fmt.Sprintf("link[%s %s]", l.layer, l.name) }
 
@@ -144,6 +279,15 @@ func (l *Link) String() string { return fmt.Sprintf("link[%s %s]", l.layer, l.na
 // in Stats and vanish (the loss signal reaches transports via duplicate
 // ACKs or timeouts, as in a real network).
 func (l *Link) Enqueue(p *Packet) {
+	if l.down {
+		l.blackhole(p)
+		return
+	}
+	if l.lossRate > 0 && l.lossRNG.Float64() < l.lossRate {
+		l.Stats.RandomDrops++
+		l.Stats.RandomDropBytes += int64(p.Size)
+		return
+	}
 	if !l.busy {
 		l.Stats.Enqueued++
 		l.transmit(p)
@@ -185,10 +329,23 @@ func (l *Link) transmit(p *Packet) {
 
 // txDone fires when the last bit of p has been serialised: the packet
 // begins propagating and the transmitter picks up the next queued packet.
+// If the link failed while p was serialising, p and the (already drained)
+// queue are gone and the transmitter goes idle.
 func (l *Link) txDone(p *Packet) {
+	if l.down {
+		l.blackhole(p)
+		l.busy = false
+		return
+	}
 	l.Stats.TxPackets++
 	l.Stats.TxBytes += int64(p.Size)
 	l.eng.Schedule(l.prop, func() {
+		if l.down {
+			// The link failed mid-propagation: the packet is lost with
+			// everything else in flight.
+			l.blackhole(p)
+			return
+		}
 		p.Hops++
 		l.dst.Receive(p, l)
 	})

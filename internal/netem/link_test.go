@@ -236,3 +236,167 @@ func TestLinkAvgQueue(t *testing.T) {
 		t.Error("AvgQueue over empty interval must be 0")
 	}
 }
+
+func TestLinkDownBlackholesEverything(t *testing.T) {
+	eng := sim.NewEngine()
+	dst := newSink(eng, 2)
+	// 100 Mb/s, 50us propagation: 1500B serialises in 120us.
+	l := NewLink(eng, newSink(eng, 1), dst, 100_000_000, 50*sim.Microsecond, 10, LayerAgg)
+	// 4 packets: one serialising, three queued.
+	for i := 0; i < 4; i++ {
+		l.Enqueue(dataPacket(1500))
+	}
+	// Fail mid-serialisation of the first packet: the queue drains into
+	// the blackhole, the in-transmitter packet dies at txDone, and a
+	// post-failure arrival dies at enqueue.
+	eng.Schedule(60*sim.Microsecond, func() {
+		l.SetDown(true)
+		if !l.Down() {
+			t.Error("link not down after SetDown(true)")
+		}
+		l.Enqueue(dataPacket(1500))
+	})
+	eng.Run()
+	if len(dst.packets) != 0 {
+		t.Fatalf("delivered %d packets through a down link", len(dst.packets))
+	}
+	if got := l.Stats.Blackholed; got != 5 {
+		t.Errorf("blackholed = %d, want 5", got)
+	}
+	if got := l.Stats.BlackholedBytes; got != 5*1500 {
+		t.Errorf("blackholed bytes = %d, want %d", got, 5*1500)
+	}
+	if l.Stats.Drops != 0 {
+		t.Errorf("queue drops = %d, want 0 (failure losses are blackholes)", l.Stats.Drops)
+	}
+}
+
+func TestLinkDownSwallowsInFlight(t *testing.T) {
+	eng := sim.NewEngine()
+	dst := newSink(eng, 2)
+	// Long propagation so the packet is in flight when the link dies:
+	// serialisation ends at 120us, delivery would be at 1120us.
+	l := NewLink(eng, newSink(eng, 1), dst, 100_000_000, 1*sim.Millisecond, 10, LayerAgg)
+	l.Enqueue(dataPacket(1500))
+	eng.Schedule(500*sim.Microsecond, func() { l.SetDown(true) })
+	eng.Run()
+	if len(dst.packets) != 0 {
+		t.Fatal("in-flight packet survived the failure")
+	}
+	if l.Stats.Blackholed != 1 {
+		t.Errorf("blackholed = %d, want 1", l.Stats.Blackholed)
+	}
+	// The bits were serialised before the failure.
+	if l.Stats.TxPackets != 1 {
+		t.Errorf("tx packets = %d, want 1", l.Stats.TxPackets)
+	}
+}
+
+func TestLinkRepairResumesDelivery(t *testing.T) {
+	eng := sim.NewEngine()
+	dst := newSink(eng, 2)
+	l := NewLink(eng, newSink(eng, 1), dst, 100_000_000, 20*sim.Microsecond, 10, LayerAgg)
+	eng.At(0, func() { l.SetDown(true) })
+	eng.At(100*sim.Microsecond, func() { l.Enqueue(dataPacket(1500)) }) // blackholes
+	eng.At(1*sim.Millisecond, func() { l.SetDown(false) })
+	eng.At(2*sim.Millisecond, func() { l.Enqueue(dataPacket(1500)) }) // delivered
+	eng.Run()
+	if len(dst.packets) != 1 {
+		t.Fatalf("delivered %d packets after repair, want 1", len(dst.packets))
+	}
+	if l.Stats.Blackholed != 1 {
+		t.Errorf("blackholed = %d, want 1", l.Stats.Blackholed)
+	}
+	if got, want := l.TimeDown(eng.Now()), 1*sim.Millisecond; got != want {
+		t.Errorf("time down = %v, want %v", got, want)
+	}
+	// SetDown is idempotent.
+	l.SetDown(false)
+	if got, want := l.TimeDown(eng.Now()), 1*sim.Millisecond; got != want {
+		t.Errorf("time down after redundant SetDown = %v, want %v", got, want)
+	}
+}
+
+func TestLinkTimeDownOpenInterval(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, newSink(eng, 1), newSink(eng, 2), 100_000_000, 0, 10, LayerAgg)
+	eng.At(3*sim.Millisecond, func() { l.SetDown(true) })
+	eng.At(10*sim.Millisecond, func() {})
+	eng.Run()
+	if got, want := l.TimeDown(10*sim.Millisecond), 7*sim.Millisecond; got != want {
+		t.Errorf("open-interval time down = %v, want %v", got, want)
+	}
+}
+
+func TestLinkRateFactorSlowsSerialisation(t *testing.T) {
+	eng := sim.NewEngine()
+	dst := newSink(eng, 2)
+	l := NewLink(eng, newSink(eng, 1), dst, 100_000_000, 0, 10, LayerAgg)
+	l.SetRateFactor(0.5) // 50 Mb/s: 1500B now takes 240us
+	l.Enqueue(dataPacket(1500))
+	eng.Run()
+	if got, want := dst.times[0], 240*sim.Microsecond; got != want {
+		t.Errorf("degraded delivery at %v, want %v", got, want)
+	}
+	l.SetRateFactor(1)
+	if l.Rate() != 100_000_000 {
+		t.Errorf("rate after restore = %d", l.Rate())
+	}
+	for _, bad := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetRateFactor(%v) did not panic", bad)
+				}
+			}()
+			l.SetRateFactor(bad)
+		}()
+	}
+}
+
+func TestLinkExtraDelay(t *testing.T) {
+	eng := sim.NewEngine()
+	dst := newSink(eng, 2)
+	l := NewLink(eng, newSink(eng, 1), dst, 100_000_000, 20*sim.Microsecond, 10, LayerAgg)
+	l.SetExtraDelay(100 * sim.Microsecond)
+	l.Enqueue(dataPacket(1500)) // 120us tx + 120us prop
+	eng.Run()
+	if got, want := dst.times[0], 240*sim.Microsecond; got != want {
+		t.Errorf("delayed delivery at %v, want %v", got, want)
+	}
+	l.SetExtraDelay(0)
+	if l.PropDelay() != 20*sim.Microsecond {
+		t.Errorf("prop after restore = %v", l.PropDelay())
+	}
+}
+
+func TestLinkRandomLoss(t *testing.T) {
+	eng := sim.NewEngine()
+	dst := newSink(eng, 2)
+	l := NewLink(eng, newSink(eng, 1), dst, 10_000_000_000, 0, 100000, LayerAgg)
+	l.SetLossRate(0.3, sim.NewRNG(42))
+	const n = 10000
+	for i := 0; i < n; i++ {
+		l.Enqueue(dataPacket(1500))
+	}
+	eng.Run()
+	lost := int(l.Stats.RandomDrops)
+	if lost < n/4 || lost > n/3+n/10 {
+		t.Errorf("random drops = %d/%d, want about 30%%", lost, n)
+	}
+	if len(dst.packets)+lost != n {
+		t.Errorf("accounting: delivered %d + lost %d != %d", len(dst.packets), lost, n)
+	}
+	if l.Stats.RandomDropBytes != int64(lost)*1500 {
+		t.Errorf("random drop bytes = %d", l.Stats.RandomDropBytes)
+	}
+	l.SetLossRate(0, nil) // disable
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SetLossRate(0.5, nil) did not panic")
+			}
+		}()
+		l.SetLossRate(0.5, nil)
+	}()
+}

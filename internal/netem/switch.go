@@ -1,8 +1,6 @@
 package netem
 
 import (
-	"fmt"
-
 	"repro/internal/sim"
 )
 
@@ -11,10 +9,34 @@ import (
 // topology package (structured FatTree routing, generic shortest-path
 // tables for arbitrary graphs).
 type Router interface {
-	// NextLinks returns the equal-cost output links toward dst. It must
-	// return a non-empty slice for every reachable destination, and the
-	// returned slice must not be modified by the caller.
+	// NextLinks returns the equal-cost output links toward dst. For a
+	// reachable destination on a healthy network the slice is non-empty;
+	// during a failure window it may be empty if every candidate link
+	// has been excluded by reconverged routing (the switch then drops
+	// the packet). The returned slice must not be modified by the caller.
 	NextLinks(dst NodeID) []*Link
+}
+
+// LiveLinks filters route-dead links (see Link.SetRouteDead) out of an
+// equal-cost set. In the common all-alive case the input slice is
+// returned unchanged, so the healthy forwarding path stays allocation
+// free; during failure windows a fresh filtered slice — possibly empty —
+// is built. Router implementations call this on every lookup, which is
+// what makes them converge onto surviving paths after a failure.
+func LiveLinks(links []*Link) []*Link {
+	for i, l := range links {
+		if l.routeDead {
+			out := make([]*Link, i, len(links))
+			copy(out, links[:i])
+			for _, m := range links[i+1:] {
+				if !m.routeDead {
+					out = append(out, m)
+				}
+			}
+			return out
+		}
+	}
+	return links
 }
 
 // maxHops bounds packet forwarding as a routing-loop backstop. The
@@ -37,6 +59,10 @@ type Switch struct {
 	// Stats
 	Forwarded int64
 	Dropped   int64 // packets discarded due to the hop-count backstop
+	// NoRoute counts packets dropped because the router returned an
+	// empty equal-cost set — every candidate link toward the destination
+	// was excluded by failures. On a healthy network this stays zero.
+	NoRoute int64
 }
 
 // NewSwitch creates a switch. seed perturbs the ECMP hash so that
@@ -54,7 +80,9 @@ func (s *Switch) ID() NodeID { return s.id }
 func (s *Switch) SetRouter(r Router) { s.router = r }
 
 // Receive implements Node: look up the equal-cost set for the packet's
-// destination, pick a link by flow hash, and enqueue.
+// destination, pick a link by flow hash, and enqueue. A packet with no
+// surviving route is counted and dropped — transports see the loss the
+// same way they see a blackhole, through silence.
 func (s *Switch) Receive(p *Packet, from *Link) {
 	if p.Hops > maxHops {
 		s.Dropped++
@@ -63,7 +91,8 @@ func (s *Switch) Receive(p *Packet, from *Link) {
 	links := s.router.NextLinks(p.Dst)
 	n := len(links)
 	if n == 0 {
-		panic(fmt.Sprintf("netem: switch %d has no route to %d", s.id, p.Dst))
+		s.NoRoute++
+		return
 	}
 	var out *Link
 	if n == 1 {

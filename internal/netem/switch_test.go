@@ -159,3 +159,100 @@ func TestPacketString(t *testing.T) {
 		t.Error("SYN and FIN render identically")
 	}
 }
+
+func TestLiveLinksFiltering(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewSwitch(eng, 100, 7)
+	links := make([]*Link, 4)
+	for i := range links {
+		links[i] = NewLink(eng, sw, newSink(eng, NodeID(i)), 1_000_000_000, 0, 10, LayerAgg)
+	}
+	// All alive: the exact input slice comes back (no allocation).
+	if got := LiveLinks(links); &got[0] != &links[0] || len(got) != 4 {
+		t.Error("all-alive fast path must return the input slice")
+	}
+	links[1].SetRouteDead(true)
+	links[3].SetRouteDead(true)
+	got := LiveLinks(links)
+	if len(got) != 2 || got[0] != links[0] || got[1] != links[2] {
+		t.Errorf("filtered set = %v, want links 0 and 2", got)
+	}
+	// Everything dead: empty, not nil-panicking.
+	links[0].SetRouteDead(true)
+	links[2].SetRouteDead(true)
+	if got := LiveLinks(links); len(got) != 0 {
+		t.Errorf("all-dead set has %d links", len(got))
+	}
+	links[1].SetRouteDead(false)
+	if got := LiveLinks(links); len(got) != 1 || got[0] != links[1] {
+		t.Error("revived link missing from live set")
+	}
+}
+
+func TestSwitchNoRouteDropsGracefully(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewSwitch(eng, 100, 7)
+	dst := newSink(eng, 1)
+	l := NewLink(eng, sw, dst, 1_000_000_000, 0, 10, LayerEdge)
+	sw.SetRouter(&staticRouter{nil}) // failure window: no surviving route
+	sw.Receive(dataPacket(1500), nil)
+	sw.Receive(dataPacket(1500), nil)
+	eng.Run()
+	if len(dst.packets) != 0 {
+		t.Fatal("packets forwarded despite empty route set")
+	}
+	if sw.NoRoute != 2 {
+		t.Errorf("no-route drops = %d, want 2", sw.NoRoute)
+	}
+	if sw.Forwarded != 0 {
+		t.Errorf("forwarded = %d, want 0", sw.Forwarded)
+	}
+	// Routing heals: forwarding resumes.
+	sw.SetRouter(&staticRouter{[]*Link{l}})
+	sw.Receive(dataPacket(1500), nil)
+	eng.Run()
+	if len(dst.packets) != 1 {
+		t.Error("forwarding did not resume after routes returned")
+	}
+}
+
+func TestSwitchExcludesRouteDeadLink(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewSwitch(eng, 100, 7)
+	sinks := make([]*sink, 4)
+	links := make([]*Link, 4)
+	for i := range links {
+		sinks[i] = newSink(eng, NodeID(i))
+		links[i] = NewLink(eng, sw, sinks[i], 10_000_000_000, 0, 100000, LayerAgg)
+	}
+	// Route through LiveLinks, as every topology router does.
+	sw.SetRouter(&liveRouter{links})
+	rng := sim.NewRNG(1)
+	deadIdx := 2
+	links[deadIdx].SetRouteDead(true)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		p := dataPacket(1500)
+		p.SrcPort = uint16(rng.Intn(1 << 16)) // scatter across the set
+		sw.Receive(p, nil)
+	}
+	eng.Run()
+	if len(sinks[deadIdx].packets) != 0 {
+		t.Errorf("route-dead link carried %d packets", len(sinks[deadIdx].packets))
+	}
+	// The survivors absorb the spray roughly evenly.
+	for i, s := range sinks {
+		if i == deadIdx {
+			continue
+		}
+		if len(s.packets) < n/3-n/8 || len(s.packets) > n/3+n/8 {
+			t.Errorf("survivor %d got %d packets, want about %d", i, len(s.packets), n/3)
+		}
+	}
+}
+
+// liveRouter is staticRouter with the liveness filtering every real
+// Router implementation applies.
+type liveRouter struct{ links []*Link }
+
+func (r *liveRouter) NextLinks(dst NodeID) []*Link { return LiveLinks(r.links) }

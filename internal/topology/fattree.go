@@ -211,9 +211,9 @@ type fatTreeEdgeRouter struct {
 
 func (r *fatTreeEdgeRouter) NextLinks(dst netem.NodeID) []*netem.Link {
 	if r.f.edgeOf(dst) == r.edge {
-		return r.hostLinks[int(dst)%r.f.hostsPerEdge]
+		return netem.LiveLinks(r.hostLinks[int(dst)%r.f.hostsPerEdge])
 	}
-	return r.upLinks
+	return netem.LiveLinks(r.upLinks)
 }
 
 // fatTreeAggRouter forwards down to the destination's edge switch when
@@ -227,9 +227,9 @@ type fatTreeAggRouter struct {
 
 func (r *fatTreeAggRouter) NextLinks(dst netem.NodeID) []*netem.Link {
 	if r.f.PodOf(dst) == r.pod {
-		return r.edgeLinks[r.f.EdgeIndexOf(dst)]
+		return netem.LiveLinks(r.edgeLinks[r.f.EdgeIndexOf(dst)])
 	}
-	return r.upLinks
+	return netem.LiveLinks(r.upLinks)
 }
 
 // fatTreeCoreRouter forwards down to the aggregation switch of the
@@ -240,5 +240,5 @@ type fatTreeCoreRouter struct {
 }
 
 func (r *fatTreeCoreRouter) NextLinks(dst netem.NodeID) []*netem.Link {
-	return r.podLinks[r.f.PodOf(dst)]
+	return netem.LiveLinks(r.podLinks[r.f.PodOf(dst)])
 }

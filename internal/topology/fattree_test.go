@@ -308,3 +308,88 @@ func ExampleFatTreeConfig_Oversubscription() {
 	fmt.Println(PaperFatTreeConfig().Oversubscription())
 	// Output: 4
 }
+
+func TestFatTreeRoutersExcludeRouteDeadLinks(t *testing.T) {
+	eng := sim.NewEngine()
+	f := NewFatTree(eng, FatTreeConfig{K: 4, Link: DefaultLinkConfig()})
+	src, dst := netem.NodeID(0), netem.NodeID(f.NumHosts()-1) // inter-pod pair
+
+	// Walk the routers' view from the source edge switch upward.
+	edge := f.routers[f.Hosts[src].Uplinks()[0].Dst().ID()]
+	up := edge.NextLinks(dst)
+	if len(up) != 2 {
+		t.Fatalf("edge equal-cost set = %d links, want 2 agg uplinks", len(up))
+	}
+	// Kill one agg uplink for routing: the set shrinks.
+	up[0].SetRouteDead(true)
+	if got := edge.NextLinks(dst); len(got) != 1 || got[0] != up[1] {
+		t.Fatalf("route-dead agg uplink still in the set: %v", got)
+	}
+	// Kill both: the edge router reports no route (the switch counts
+	// and drops; see netem).
+	up[1].SetRouteDead(true)
+	if got := edge.NextLinks(dst); len(got) != 0 {
+		t.Fatalf("empty failure window returned %d links", len(got))
+	}
+	up[0].SetRouteDead(false)
+	up[1].SetRouteDead(false)
+
+	// Same at the aggregation layer (core uplinks)...
+	agg := f.routers[up[0].Dst().ID()]
+	coreUp := agg.NextLinks(dst)
+	if len(coreUp) != 2 {
+		t.Fatalf("agg equal-cost set = %d links, want 2 core uplinks", len(coreUp))
+	}
+	coreUp[1].SetRouteDead(true)
+	if got := agg.NextLinks(dst); len(got) != 1 || got[0] != coreUp[0] {
+		t.Fatal("route-dead core uplink still in the agg set")
+	}
+	coreUp[1].SetRouteDead(false)
+
+	// ...and at the core, whose per-pod set is a single link.
+	core := f.routers[coreUp[0].Dst().ID()]
+	down := core.NextLinks(dst)
+	if len(down) != 1 {
+		t.Fatalf("core pod set = %d links, want 1", len(down))
+	}
+	down[0].SetRouteDead(true)
+	if got := core.NextLinks(dst); len(got) != 0 {
+		t.Fatal("core kept forwarding toward a route-dead pod downlink")
+	}
+	down[0].SetRouteDead(false)
+
+	// Packets still flow end to end once everything is revived.
+	if got := edge.NextLinks(dst); len(got) != 2 {
+		t.Fatalf("revived edge set = %d links", len(got))
+	}
+}
+
+func TestTableRouterExcludesRouteDeadLinks(t *testing.T) {
+	eng := sim.NewEngine()
+	// VL2 uses BFS-derived TableRouters everywhere.
+	v := NewVL2(eng, VL2Config{DA: 4, DI: 4, HostsPerToR: 2, Link: DefaultLinkConfig()})
+	// ToR 0 homes to aggs {0,1}, ToR 2 to aggs {2,3}: no shared agg, so
+	// the shortest path crosses the intermediate mesh and the source ToR
+	// has a genuinely multipath equal-cost set.
+	src, dst := netem.NodeID(0), netem.NodeID(4)
+	tor := v.routers[v.Hosts[src].Uplinks()[0].Dst().ID()]
+	set := tor.NextLinks(dst)
+	if len(set) < 2 {
+		t.Fatalf("ToR equal-cost set = %d links; VL2 should be multipath", len(set))
+	}
+	dead := set[0]
+	dead.SetRouteDead(true)
+	filtered := tor.NextLinks(dst)
+	if len(filtered) != len(set)-1 {
+		t.Fatalf("filtered set = %d links, want %d", len(filtered), len(set)-1)
+	}
+	for _, l := range filtered {
+		if l == dead {
+			t.Fatal("route-dead link survived TableRouter filtering")
+		}
+	}
+	dead.SetRouteDead(false)
+	if got := tor.NextLinks(dst); len(got) != len(set) {
+		t.Fatal("revived link missing from the set")
+	}
+}

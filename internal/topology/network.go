@@ -150,9 +150,11 @@ type TableRouter struct {
 	table map[netem.NodeID][]*netem.Link
 }
 
-// NextLinks implements netem.Router.
+// NextLinks implements netem.Router. Links excluded by failure
+// reconvergence are filtered out; the set may be empty while every
+// candidate is dead.
 func (r *TableRouter) NextLinks(dst netem.NodeID) []*netem.Link {
-	return r.table[dst]
+	return netem.LiveLinks(r.table[dst])
 }
 
 // buildECMPTables computes, for every switch, the full equal-cost

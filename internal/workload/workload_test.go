@@ -227,3 +227,83 @@ func TestPoissonValidation(t *testing.T) {
 		(&PoissonShortFlows{Eng: eng, Assign: &a, Rate: 1}).Start(sim.NewRNG(1))
 	}()
 }
+
+func TestApplyHotspotEdgeCases(t *testing.T) {
+	// Fraction 0: a no-op, partners untouched.
+	rng := sim.NewRNG(5)
+	a := BuildPermutation(rng, 32, 0.25)
+	before := append([]int(nil), a.Partner...)
+	a.ApplyHotspot(HotspotConfig{Fraction: 0, Host: 1})
+	for i := range before {
+		if a.Partner[i] != before[i] {
+			t.Fatalf("fraction 0 rewrote partner of %d", i)
+		}
+	}
+	// Fraction 1: every short sender except the hot host itself points
+	// at the hot host; long senders keep their partners.
+	hot := a.ShortSenders[0]
+	a.ApplyHotspot(HotspotConfig{Fraction: 1, Host: hot})
+	for _, s := range a.ShortSenders {
+		if s == hot {
+			if a.Partner[s] == hot {
+				t.Fatal("hot host redirected to itself")
+			}
+			continue
+		}
+		if a.Partner[s] != hot {
+			t.Errorf("short sender %d not redirected", s)
+		}
+	}
+	for _, s := range a.LongSenders {
+		if a.Partner[s] != before[s] {
+			t.Errorf("long sender %d partner rewritten by hotspot", s)
+		}
+	}
+	// Fraction above 1 is clamped by the slice bound rather than
+	// panicking.
+	b := BuildPermutation(sim.NewRNG(6), 16, 0)
+	b.ApplyHotspot(HotspotConfig{Fraction: 2.5, Host: 3})
+	for _, s := range b.ShortSenders {
+		if s != 3 && b.Partner[s] != 3 {
+			t.Errorf("sender %d missed by over-unity fraction", s)
+		}
+	}
+}
+
+func TestIncastIDsAndValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	var ids []uint64
+	ic := &Incast{
+		Eng:     eng,
+		Senders: []int{4, 9, 2},
+		Dst:     0,
+		Size:    70_000,
+		At:      0, // burst at t=0 is legal
+		BaseID:  100,
+		Spawn: func(id uint64, src, dst int, size int64) {
+			ids = append(ids, id)
+		},
+	}
+	ic.Start()
+	eng.Run()
+	// IDs are BaseID + position, so records stay collision-free even
+	// with skipped senders.
+	want := []uint64{100, 101, 102}
+	if len(ids) != len(want) {
+		t.Fatalf("spawned %d flows, want %d", len(ids), len(want))
+	}
+	for i, id := range ids {
+		if id != want[i] {
+			t.Errorf("flow %d has id %d, want %d", i, id, want[i])
+		}
+	}
+	// A nil Spawn is a programming error and panics.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Incast without Spawn did not panic")
+			}
+		}()
+		(&Incast{Eng: eng, Senders: []int{1}}).Start()
+	}()
+}

@@ -113,6 +113,17 @@ type Config struct {
 	// partition/aggregate budget from the literature the paper cites.
 	Deadline sim.Time
 
+	// Faults schedules network dynamics — link failures, repairs,
+	// capacity/delay degradation and random loss — applied while the run
+	// executes, plus the routing reconvergence delay that opens a
+	// blackhole window after each state change. The zero value leaves
+	// the network permanently healthy. Fault randomness (model sampling,
+	// loss draws) comes from an RNG stream derived from Seed that is
+	// disjoint from the workload's, so adding faults never perturbs the
+	// traffic pattern, and RunSweep carries the section unchanged. See
+	// FaultsConfig and FailCables.
+	Faults FaultsConfig
+
 	// Control.
 	Seed       uint64
 	MaxSimTime sim.Time // safety cap; default 300 s of virtual time

@@ -3,11 +3,17 @@ package mmptcp
 import (
 	"context"
 
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/netem"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
+
+// faultsRNGStream is the dedicated sim.RNG stream id for fault-plan
+// randomness (model sampling, loss draws), distinct from the workload's
+// root stream 0 so fault configuration never perturbs traffic.
+const faultsRNGStream = 0xfa017
 
 // Results is everything one experiment run measured.
 type Results struct {
@@ -32,9 +38,23 @@ type Results struct {
 	// average throughput for long flows").
 	LongThroughputMbps float64
 
-	// Layers reports loss rate and utilisation per topology layer
+	// Layers reports loss rate, utilisation, and failure accounting
+	// (blackholed packets/bytes, time-in-failure) per topology layer
 	// (§3: "average loss rate at the core and aggregation layers").
 	Layers map[netem.Layer]metrics.LayerStats
+
+	// Blackholed is the network-wide count of packets swallowed by down
+	// links (per-layer detail in Layers); zero on a healthy run.
+	Blackholed int64
+	// NoRouteDrops counts packets discarded at switches because every
+	// candidate output link had been excluded by failure reconvergence.
+	NoRouteDrops int64
+	// HopDrops counts packets discarded by the switches' hop-count
+	// routing-loop backstop.
+	HopDrops int64
+	// FaultEvents is the number of scheduled network mutations in the
+	// run's resolved fault plan (explicit events plus model samples).
+	FaultEvents int
 
 	// PhaseSwitches counts MMPTCP connections that entered phase two.
 	PhaseSwitches int
@@ -77,6 +97,18 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 		return nil, err
 	}
 	rootRNG := sim.NewRNG(cfg.Seed)
+
+	// Network dynamics. The fault plan draws from its own RNG stream —
+	// not rootRNG — so a faulted run and its healthy twin share an
+	// identical workload, and the comparison isolates the failures.
+	var faultPlan *faults.Injector
+	if cfg.Faults.Active() {
+		faultPlan, err = faults.Install(eng, net.Links, cfg.Faults,
+			sim.NewRNGStream(cfg.Seed, faultsRNGStream), cfg.MaxSimTime)
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	longFrac := cfg.LongFraction
 	if longFrac < 0 {
@@ -221,6 +253,16 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	}
 
 	res.Layers = metrics.LayerReport(net.Links, res.Elapsed)
+	for _, ls := range res.Layers {
+		res.Blackholed += ls.Blackholed
+	}
+	for _, sw := range net.Switches {
+		res.NoRouteDrops += sw.NoRoute
+		res.HopDrops += sw.Dropped
+	}
+	if faultPlan != nil {
+		res.FaultEvents = len(faultPlan.Events)
+	}
 	return res, nil
 }
 
