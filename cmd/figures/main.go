@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	figures -fig 1a|1b|1c|stats|switch|load|hotspot|multihomed|coexist|failure|all
+//	figures -fig 1a|1b|1c|stats|switch|load|hotspot|multihomed|coexist|failure|repair|all
 //	        [-scale tiny|small|medium|paper] [-flows N] [-seed S] [-csv]
 //	        [-workers N]
 //
@@ -40,7 +40,7 @@ import (
 )
 
 var (
-	figFlag     = flag.String("fig", "all", "artefact to regenerate: 1a, 1b, 1c, stats, switch, load, hotspot, multihomed, coexist, dupthresh, threshold, dctcp, incast, failure, all")
+	figFlag     = flag.String("fig", "all", "artefact to regenerate: 1a, 1b, 1c, stats, switch, load, hotspot, multihomed, coexist, dupthresh, threshold, dctcp, incast, failure, repair, all")
 	scaleFlag   = flag.String("scale", "small", "experiment scale: tiny, small, medium, paper")
 	flowsFlag   = flag.Int("flows", 0, "override the number of short flows")
 	seedFlag    = flag.Uint64("seed", 1, "random seed")
@@ -79,6 +79,8 @@ func main() {
 		incast()
 	case "failure":
 		failure()
+	case "repair":
+		repair()
 	case "all":
 		fig1a()
 		fig1bc(mmptcp.ProtoMPTCP, "1b")
@@ -94,6 +96,7 @@ func main() {
 		dctcpBaseline()
 		incast()
 		failure()
+		repair()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *figFlag)
 		os.Exit(2)
@@ -522,6 +525,78 @@ func failure() {
 			p.cables, p.reconverge.Milliseconds(), p.proto,
 			s.MeanMs, s.P99Ms, s.MaxMs, s.WithRTO, res.DeadlineMissRate*100,
 			res.LongThroughputMbps, res.Blackholed, res.NoRouteDrops)
+	}
+	fmt.Println()
+}
+
+// repair is the local-vs-global repair experiment the routing control
+// plane opens: agg-core cables are cut at 200ms and stay dead until
+// 2.5s, and the scan compares the two repair models across failed-cable
+// counts for TCP and MMPTCP. Local repair (the PR-2 baseline) only
+// excludes each switch's own dead links, so upstream ECMP keeps hashing
+// onto cores that lost their sole downlink to a pod — visible as
+// NoRoute drops for the whole outage. Global repair recomputes
+// reachability 10ms after each transition and steers around the
+// cripples; the recompute count and surviving override entries land in
+// the table.
+func repair() {
+	const (
+		failAt     = 200 * sim.Millisecond
+		repairAt   = 2500 * sim.Millisecond
+		reconverge = 10 * sim.Millisecond
+	)
+	protos := []mmptcp.Protocol{mmptcp.ProtoTCP, mmptcp.ProtoMMPTCP}
+	modes := []mmptcp.RoutingMode{mmptcp.RoutingLocal, mmptcp.RoutingGlobal}
+
+	type point struct {
+		cables int
+		mode   mmptcp.RoutingMode
+		proto  mmptcp.Protocol
+	}
+	// On the K=4 fabrics cutting the first 4 agg-core cables would sever
+	// every pod-0 uplink — a physical partition no routing model can
+	// repair — so the scan stops at 3 (pod 0 down to one surviving
+	// uplink).
+	var points []point
+	var configs []mmptcp.Config
+	for _, cables := range []int{0, 1, 2, 3} {
+		for _, mode := range modes {
+			if cables == 0 && mode != mmptcp.RoutingLocal {
+				continue // healthy baseline: the mode is irrelevant, run once
+			}
+			for _, proto := range protos {
+				cfg := baseConfig(proto)
+				// Stranded single-path flows surface as deadline misses
+				// rather than dominating the scan's wall time.
+				if cfg.MaxSimTime == 0 || cfg.MaxSimTime > 60*sim.Second {
+					cfg.MaxSimTime = 60 * sim.Second
+				}
+				if cables > 0 {
+					cfg.Faults = mmptcp.FaultsConfig{
+						Events:          mmptcp.FailCables(mmptcp.LayerAgg, cables, failAt, repairAt),
+						ReconvergeDelay: reconverge,
+					}
+					cfg.Routing = mode
+				}
+				points = append(points, point{cables, mode, proto})
+				configs = append(configs, cfg)
+			}
+		}
+	}
+	results := sweep(configs)
+	fmt.Println("== Roadmap: local vs global repair (agg-core cables cut at 200ms, repaired at 2.5s, 10ms reconvergence) ==")
+	fmt.Println("cables  mode    proto    mean_ms  p99_ms   max_ms   miss_pct  long_tput_mbps  noroute  blackholed  recomputes")
+	for i, res := range results {
+		p := points[i]
+		mode := string(p.mode)
+		if p.cables == 0 {
+			mode = "-"
+		}
+		s := res.ShortSummary
+		fmt.Printf("%6d  %-6s  %-7s  %7.1f  %7.1f  %7.1f  %8.1f  %14.2f  %7d  %10d  %10d\n",
+			p.cables, mode, p.proto, s.MeanMs, s.P99Ms, s.MaxMs,
+			res.DeadlineMissRate*100, res.LongThroughputMbps,
+			res.NoRouteDrops, res.Blackholed, res.Routing.Recomputes)
 	}
 	fmt.Println()
 }

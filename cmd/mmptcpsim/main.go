@@ -1,7 +1,10 @@
 // Command mmptcpsim runs one experiment of the MMPTCP simulation study
 // with every knob exposed as a flag, and prints a full report: short-flow
 // completion statistics, long-flow throughput, per-layer loss and
-// utilisation. With -perflow it also emits per-flow CSV for plotting.
+// utilisation, and — under failures — blackhole/no-route accounting and
+// the routing control plane's recompute work (-routing local|global,
+// -fail-cables, -fail-switches). With -perflow it also emits per-flow
+// CSV for plotting.
 //
 // Example (the paper's headline comparison at small scale):
 //
@@ -23,6 +26,8 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	mmptcp "repro"
@@ -55,6 +60,8 @@ func main() {
 		failAtMs = flag.Float64("fail-at-ms", 200, "failure time, milliseconds")
 		repairMs = flag.Float64("repair-at-ms", 0, "repair time, milliseconds (0 = never repaired)")
 		reconvMs = flag.Float64("reconverge-ms", 10, "routing reconvergence delay, milliseconds")
+		failSw   = flag.String("fail-switches", "", "comma-separated switch ordinals to crash at -fail-at-ms (restart at -repair-at-ms)")
+		routing  = flag.String("routing", "local", "repair model under failures: local (per-switch link exclusion) or global (control-plane reconvergence)")
 		lossRate = flag.Float64("degrade-loss", 0, "degrade the -fail-cables cables with this random-loss probability instead of hard failure")
 		capFact  = flag.Float64("degrade-capacity", 0, "scale the -fail-cables cables' capacity by this factor in (0,1] instead of hard failure")
 		seed     = flag.Uint64("seed", 1, "random seed (with -seeds: base for derived replicate seeds)")
@@ -98,6 +105,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-degrade-loss/-degrade-capacity need -fail-cables to select how many cables to degrade")
 		os.Exit(2)
 	}
+	cfg.Routing = mmptcp.RoutingMode(*routing)
+	if *failSw != "" {
+		var ords []int
+		for _, part := range strings.Split(*failSw, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad -fail-switches ordinal %q\n", part)
+				os.Exit(2)
+			}
+			ords = append(ords, n)
+		}
+		cfg.Faults.Events = append(cfg.Faults.Events, mmptcp.FailSwitches(ords,
+			sim.FromSeconds(*failAtMs/1000), sim.FromSeconds(*repairMs/1000))...)
+		cfg.Faults.ReconvergeDelay = sim.FromSeconds(*reconvMs / 1000)
+	}
 	if *failN > 0 {
 		var layer mmptcp.Layer
 		switch *failLay {
@@ -120,9 +142,11 @@ func main() {
 			if factor == 0 {
 				factor = 1 // loss-only degradation keeps full capacity
 			}
-			cfg.Faults.Events = mmptcp.DegradeCables(layer, *failN, at, repair, factor, 0, *lossRate)
+			cfg.Faults.Events = append(cfg.Faults.Events,
+				mmptcp.DegradeCables(layer, *failN, at, repair, factor, 0, *lossRate)...)
 		} else {
-			cfg.Faults.Events = mmptcp.FailCables(layer, *failN, at, repair)
+			cfg.Faults.Events = append(cfg.Faults.Events,
+				mmptcp.FailCables(layer, *failN, at, repair)...)
 		}
 		cfg.Faults.ReconvergeDelay = sim.FromSeconds(*reconvMs / 1000)
 	}
@@ -275,5 +299,15 @@ func report(res *mmptcp.Results, wall time.Duration) {
 	if res.FaultEvents > 0 {
 		fmt.Printf("\nfaults: %d scheduled events, %d packets blackholed, %d no-route drops\n",
 			res.FaultEvents, res.Blackholed, res.NoRouteDrops)
+		if res.SwitchCrashes > 0 {
+			fmt.Printf("  switch crashes: %d (%d packets dropped at crashed forwarding planes)\n",
+				res.SwitchCrashes, res.CrashDrops)
+		}
+		fmt.Printf("  routing: %s repair", res.Routing.Mode)
+		if res.Routing.Recomputes > 0 {
+			fmt.Printf(", %d recomputes, last convergence at %v, %d overrides live at run end",
+				res.Routing.Recomputes, res.Routing.LastConvergence, res.Routing.Overrides)
+		}
+		fmt.Println()
 	}
 }

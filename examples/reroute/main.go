@@ -1,0 +1,77 @@
+// Reroute demonstrates the routing control plane: the same fault — two
+// agg-core cables cut at 200ms and left dead until 2.5s — is replayed
+// under the two repair models. With local repair (the default) each
+// switch merely stops using its own dead links, so aggregation switches
+// in other pods keep ECMP-hashing onto cores that lost their only
+// downlink to the wounded pod; those packets die as NoRoute drops for
+// the whole outage. With global repair the control plane recomputes
+// reachability 10ms after each link transition and overrides exactly
+// the equal-cost entries whose reachability changed, so traffic steers
+// around the cripples and the NoRoute column collapses to zero.
+//
+// The comparison runs TCP and MMPTCP over the identical workload and
+// fault schedule (fault randomness lives on its own RNG stream), so
+// every difference in the table is the repair model.
+//
+//	go run ./examples/reroute [flows]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+)
+
+import mmptcp "repro"
+
+func main() {
+	flows := 300
+	if len(os.Args) > 1 {
+		n, err := strconv.Atoi(os.Args[1])
+		if err != nil {
+			log.Fatalf("bad flow count %q", os.Args[1])
+		}
+		flows = n
+	}
+
+	faultPlan := mmptcp.FaultsConfig{
+		Events:          mmptcp.FailCables(mmptcp.LayerAgg, 2, 200*mmptcp.Millisecond, 2500*mmptcp.Millisecond),
+		ReconvergeDelay: 10 * mmptcp.Millisecond,
+	}
+
+	fmt.Printf("%d short flows on a 64-host 4:1 FatTree; 2 agg-core cables dead 200ms..2.5s, 10ms reconvergence\n\n", flows)
+	type point struct {
+		proto mmptcp.Protocol
+		mode  mmptcp.RoutingMode
+	}
+	var points []point
+	var configs []mmptcp.Config
+	for _, proto := range []mmptcp.Protocol{mmptcp.ProtoTCP, mmptcp.ProtoMMPTCP} {
+		for _, mode := range []mmptcp.RoutingMode{mmptcp.RoutingLocal, mmptcp.RoutingGlobal} {
+			cfg := mmptcp.SmallConfig(proto, flows)
+			cfg.Seed = 7
+			cfg.MaxSimTime = 60 * mmptcp.Second
+			cfg.Faults = faultPlan
+			cfg.Routing = mode
+			points = append(points, point{proto, mode})
+			configs = append(configs, cfg)
+		}
+	}
+	results, err := mmptcp.RunSweep(configs, mmptcp.SweepOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("proto    repair  mean_ms  p99_ms   miss_pct  long_tput_mbps  noroute  recomputes")
+	for i, res := range results {
+		p := points[i]
+		s := res.ShortSummary
+		fmt.Printf("%-7s  %-6s  %7.1f  %7.1f  %8.1f  %14.2f  %7d  %10d\n",
+			p.proto, p.mode, s.MeanMs, s.P99Ms, res.DeadlineMissRate*100,
+			res.LongThroughputMbps, res.NoRouteDrops, res.Routing.Recomputes)
+	}
+	fmt.Println("\nGlobal repair turns stranded traffic (noroute) into rerouted traffic: the")
+	fmt.Println("short-flow tail and deadline misses collapse toward the healthy baseline,")
+	fmt.Println("while the identical fault schedule keeps blackhole losses the same.")
+}

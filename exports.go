@@ -4,6 +4,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/netem"
+	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -42,20 +43,43 @@ type (
 	// FaultEvent is one timed network mutation (link down/up,
 	// degradation, restore) addressed by layer and link index.
 	FaultEvent = faults.Event
-	// FaultModel samples failures from per-layer MTBF/MTTR statistics.
+	// FaultModel samples failures from per-layer MTBF/MTTR statistics,
+	// correlated cable groups and per-tier switch crashes.
 	FaultModel = faults.Model
 	// FaultLayerModel is one layer's MTBF/MTTR failure statistics.
 	FaultLayerModel = faults.LayerModel
+	// FaultGroupModel samples correlated failures: consecutive groups of
+	// same-layer cables (a line card, a power domain) fail and recover
+	// as a unit.
+	FaultGroupModel = faults.GroupModel
+	// FaultSwitchModel samples whole-switch crash/restart pairs for one
+	// switch tier.
+	FaultSwitchModel = faults.SwitchModel
 	// Layer classifies where in the topology a link sits.
 	Layer = netem.Layer
+
+	// RoutingMode selects local vs global repair under failures; see
+	// Config.Routing.
+	RoutingMode = routing.Mode
+	// RoutingStats reports the control plane's work (recompute count,
+	// last convergence time, live override entries) in Results.Routing.
+	RoutingStats = metrics.RoutingStats
 )
 
 // Fault event kinds.
 const (
-	FaultLinkDown = faults.LinkDown
-	FaultLinkUp   = faults.LinkUp
-	FaultDegrade  = faults.Degrade
-	FaultRestore  = faults.Restore
+	FaultLinkDown   = faults.LinkDown
+	FaultLinkUp     = faults.LinkUp
+	FaultDegrade    = faults.Degrade
+	FaultRestore    = faults.Restore
+	FaultSwitchDown = faults.SwitchDown
+	FaultSwitchUp   = faults.SwitchUp
+)
+
+// Routing repair modes for Config.Routing.
+const (
+	RoutingLocal  = routing.Local
+	RoutingGlobal = routing.Global
 )
 
 // Topology layers, for addressing fault targets.
@@ -78,6 +102,14 @@ func FailCables(layer Layer, n int, at, upAt SimTime) []FaultEvent {
 // with Restore events at restoreAt (0 = never restored).
 func DegradeCables(layer Layer, n int, at, restoreAt SimTime, capacityFactor float64, extraDelay SimTime, lossRate float64) []FaultEvent {
 	return faults.DegradeCables(layer, n, at, restoreAt, capacityFactor, extraDelay, lossRate)
+}
+
+// FailSwitches builds SwitchDown crash events for the given switch
+// ordinals (builder order) at time `at`, with matching SwitchUp restart
+// events at upAt (0 = never restarted). A crash fails every port of the
+// switch at once. See faults.FailSwitches.
+func FailSwitches(switches []int, at, upAt SimTime) []FaultEvent {
+	return faults.FailSwitches(switches, at, upAt)
 }
 
 // Virtual-time units for use with SimTime.

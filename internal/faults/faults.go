@@ -1,9 +1,11 @@
 // Package faults is the network-dynamics subsystem: it mutates a built
 // topology while the event engine runs. A Schedule holds timed events —
-// link down/up, capacity reduction, added propagation delay, random-loss
-// injection — built either explicitly (FailCables and friends) or
-// sampled from a seeded MTBF/MTTR failure model, and an Injector replays
-// them against the network's links on the simulation clock.
+// link down/up, whole-switch crash/restart, capacity reduction, added
+// propagation delay, random-loss injection — built either explicitly
+// (FailCables, FailSwitches and friends) or sampled from a seeded
+// MTBF/MTTR failure model (independent cables, correlated cable groups,
+// or whole switch tiers), and an Injector replays them against the
+// network on the simulation clock.
 //
 // The piece that makes failures interesting for the paper's transports
 // is the reconvergence delay: when a link dies, its switch keeps
@@ -49,6 +51,17 @@ const (
 	// Restore resets the target links to their built rate, delay and
 	// zero injected loss.
 	Restore
+	// SwitchDown crashes a whole switch: every incident link (both
+	// directions of every port) fails at once and the switch itself stops
+	// forwarding. For switch events Index is the switch ordinal in the
+	// network's builder order (Index -1 crashes every switch) and Layer
+	// is ignored.
+	SwitchDown
+	// SwitchUp restarts a crashed switch: its ports come back up and
+	// routing re-admits them after the reconvergence delay. Crash/restart
+	// pairs are refcounted like link outages, so overlapping crashes from
+	// different sources union.
+	SwitchUp
 )
 
 // String names the kind.
@@ -62,15 +75,21 @@ func (k Kind) String() string {
 		return "degrade"
 	case Restore:
 		return "restore"
+	case SwitchDown:
+		return "switch-down"
+	case SwitchUp:
+		return "switch-up"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
-// Event is one timed network mutation. Targets are addressed by topology
-// layer plus the index of the unidirectional link within that layer, in
-// builder order (netem links come in direction pairs: cable i at a layer
-// is links 2i and 2i+1 — see FailCables). Index -1 targets every link at
-// the layer.
+// Event is one timed network mutation. Link-targeted events are
+// addressed by topology layer plus the index of the unidirectional link
+// within that layer, in builder order (netem links come in direction
+// pairs: cable i at a layer is links 2i and 2i+1 — see FailCables);
+// Index -1 targets every link at the layer. Switch-targeted events
+// (SwitchDown/SwitchUp) address Index as the switch ordinal in builder
+// order and ignore Layer.
 type Event struct {
 	At    sim.Time
 	Kind  Kind
@@ -94,19 +113,59 @@ type LayerModel struct {
 	MTTR  sim.Time // mean time to repair; must be positive
 }
 
+// GroupModel samples correlated failures: the layer's cables are
+// partitioned into consecutive groups of Size (a line card, a power
+// domain, a maintenance unit), and each group alternates exponentially
+// distributed up intervals (mean MTBF) and down intervals (mean MTTR)
+// as a unit — every cable in the group fails and recovers at the same
+// instants. This is the correlation structure independent per-cable
+// sampling (LayerModel) cannot express.
+type GroupModel struct {
+	Layer netem.Layer
+	Size  int      // cables per group; must be positive. The last group may be smaller.
+	MTBF  sim.Time // mean time between failures per group; must be positive
+	MTTR  sim.Time // mean time to repair; must be positive
+}
+
+// SwitchModel gives one switch tier's failure statistics: each switch at
+// the tier alternates exponential up intervals (mean MTBF) and crash
+// intervals (mean MTTR). A switch's tier is the layer of its uplinks
+// (edge switches are LayerEdge, aggregation LayerAgg, core/intermediate
+// LayerCore) as registered by the topology builder.
+type SwitchModel struct {
+	Layer netem.Layer
+	MTBF  sim.Time // mean time between crashes per switch; must be positive
+	MTTR  sim.Time // mean time to restart; must be positive
+}
+
 // Model samples a failure schedule instead of (or in addition to) an
 // explicit event list. The zero value samples nothing.
 type Model struct {
+	// Layers samples each cable independently.
 	Layers []LayerModel
+	// Groups samples correlated cable groups (all cables of a group fail
+	// and recover together).
+	Groups []GroupModel
+	// Switches samples whole-switch crash/restart pairs per tier.
+	Switches []SwitchModel
 	// Horizon bounds sampling; 0 means the run's MaxSimTime.
 	Horizon sim.Time
 }
 
+// active reports whether the model samples anything.
+func (m Model) active() bool {
+	return len(m.Layers) > 0 || len(m.Groups) > 0 || len(m.Switches) > 0
+}
+
 // Sample draws the model's down/up events over [0, horizon) using rng.
 // cablesAt reports how many cables (full-duplex link pairs) exist at a
-// layer. Each cable gets its own RNG stream split off rng in a fixed
-// order, so the draw is independent of everything else in the run.
-func (m Model) Sample(rng *sim.RNG, cablesAt func(netem.Layer) int, horizon sim.Time) ([]Event, error) {
+// layer; switchesAt returns the ordinals of the switches at a tier, in
+// builder order. Each cable, group and switch gets its own RNG stream
+// split off rng in a fixed order (layers first, then groups, then
+// switches), so the draw is independent of everything else in the run —
+// and a model without groups or switches consumes exactly the streams it
+// did before those fault classes existed.
+func (m Model) Sample(rng *sim.RNG, cablesAt func(netem.Layer) int, switchesAt func(netem.Layer) []int, horizon sim.Time) ([]Event, error) {
 	if m.Horizon > 0 {
 		horizon = m.Horizon
 	}
@@ -121,22 +180,76 @@ func (m Model) Sample(rng *sim.RNG, cablesAt func(netem.Layer) int, horizon sim.
 		}
 		for c := 0; c < cables; c++ {
 			r := rng.Split()
-			t := sim.Time(0)
-			for {
-				t += sim.Time(float64(lm.MTBF) * r.ExpFloat64())
-				if t >= horizon {
-					break
-				}
-				out = append(out, cableEvents(LinkDown, t, lm.Layer, c)...)
-				t += sim.Time(float64(lm.MTTR) * r.ExpFloat64())
-				if t >= horizon {
-					break
-				}
-				out = append(out, cableEvents(LinkUp, t, lm.Layer, c)...)
+			alternate(r, lm.MTBF, lm.MTTR, horizon, func(kind Kind, t sim.Time) {
+				out = append(out, cableEvents(kind, t, lm.Layer, c)...)
+			})
+		}
+	}
+	for _, gm := range m.Groups {
+		if gm.Size <= 0 {
+			return nil, fmt.Errorf("faults: group model at layer %v needs positive group size", gm.Layer)
+		}
+		if gm.MTBF <= 0 || gm.MTTR <= 0 {
+			return nil, fmt.Errorf("faults: group model at layer %v needs positive MTBF and MTTR", gm.Layer)
+		}
+		cables := cablesAt(gm.Layer)
+		if cables == 0 {
+			return nil, fmt.Errorf("faults: no links at layer %v to sample group failures on", gm.Layer)
+		}
+		for start := 0; start < cables; start += gm.Size {
+			end := start + gm.Size
+			if end > cables {
+				end = cables
 			}
+			r := rng.Split()
+			start := start
+			alternate(r, gm.MTBF, gm.MTTR, horizon, func(kind Kind, t sim.Time) {
+				for c := start; c < end; c++ {
+					out = append(out, cableEvents(kind, t, gm.Layer, c)...)
+				}
+			})
+		}
+	}
+	for _, sm := range m.Switches {
+		if sm.MTBF <= 0 || sm.MTTR <= 0 {
+			return nil, fmt.Errorf("faults: switch model at tier %v needs positive MTBF and MTTR", sm.Layer)
+		}
+		ords := switchesAt(sm.Layer)
+		if len(ords) == 0 {
+			return nil, fmt.Errorf("faults: no switches at tier %v to sample crashes on", sm.Layer)
+		}
+		for _, s := range ords {
+			r := rng.Split()
+			s := s
+			alternate(r, sm.MTBF, sm.MTTR, horizon, func(kind Kind, t sim.Time) {
+				ev := Event{At: t, Kind: SwitchDown, Index: s}
+				if kind == LinkUp {
+					ev.Kind = SwitchUp
+				}
+				out = append(out, ev)
+			})
 		}
 	}
 	return out, nil
+}
+
+// alternate walks one exponential up/down renewal process over
+// [0, horizon), emitting LinkDown at each failure and LinkUp at each
+// repair (callers translate the kind for non-link targets).
+func alternate(r *sim.RNG, mtbf, mttr, horizon sim.Time, emit func(kind Kind, t sim.Time)) {
+	t := sim.Time(0)
+	for {
+		t += sim.Time(float64(mtbf) * r.ExpFloat64())
+		if t >= horizon {
+			return
+		}
+		emit(LinkDown, t)
+		t += sim.Time(float64(mttr) * r.ExpFloat64())
+		if t >= horizon {
+			return
+		}
+		emit(LinkUp, t)
+	}
 }
 
 // cableEvents returns kind events for both directions of cable c.
@@ -158,6 +271,23 @@ func FailCables(layer netem.Layer, n int, at, upAt sim.Time) []Event {
 		out = append(out, cableEvents(LinkDown, at, layer, c)...)
 		if upAt > 0 {
 			out = append(out, cableEvents(LinkUp, upAt, layer, c)...)
+		}
+	}
+	return out
+}
+
+// FailSwitches returns SwitchDown crash events for the given switch
+// ordinals (builder order — see topology.Network.Switches) firing at
+// `at`, plus matching SwitchUp restart events at upAt when upAt > 0
+// (upAt == 0 means the switches stay dead). A crash fails every link
+// incident to the switch at once; routing excludes the ports after the
+// reconvergence delay, exactly as for cable cuts.
+func FailSwitches(switches []int, at, upAt sim.Time) []Event {
+	var out []Event
+	for _, s := range switches {
+		out = append(out, Event{At: at, Kind: SwitchDown, Index: s})
+		if upAt > 0 {
+			out = append(out, Event{At: upAt, Kind: SwitchUp, Index: s})
 		}
 	}
 	return out
@@ -206,14 +336,24 @@ type Config struct {
 
 // Active reports whether the config mutates the network at all.
 func (c Config) Active() bool {
-	return len(c.Events) > 0 || len(c.Model.Layers) > 0
+	return len(c.Events) > 0 || c.Model.active()
 }
 
-// validate checks event parameters against the per-layer link counts.
-func validate(events []Event, linksAt func(netem.Layer) int) error {
+// validate checks event parameters against the per-layer link counts and
+// the network's switch count.
+func validate(events []Event, linksAt func(netem.Layer) int, switches int) error {
 	for i, ev := range events {
 		if ev.At < 0 {
 			return fmt.Errorf("faults: event %d has negative time %v", i, ev.At)
+		}
+		if ev.Kind == SwitchDown || ev.Kind == SwitchUp {
+			if switches == 0 {
+				return fmt.Errorf("faults: event %d targets a switch but the network has none", i)
+			}
+			if ev.Index < -1 || ev.Index >= switches {
+				return fmt.Errorf("faults: event %d switch ordinal %d out of range (%d switches)", i, ev.Index, switches)
+			}
+			continue
 		}
 		n := linksAt(ev.Layer)
 		if n == 0 {

@@ -15,6 +15,11 @@ func buildNet(eng *sim.Engine) *topology.Network {
 	return &ft.Network
 }
 
+// target adapts a built network to the injector's view.
+func target(net *topology.Network) Target {
+	return Target{Links: net.Links, Switches: net.Switches, SwitchLayers: net.SwitchLayers}
+}
+
 func TestFailCablesShape(t *testing.T) {
 	evs := FailCables(netem.LayerAgg, 2, 10*sim.Millisecond, 50*sim.Millisecond)
 	if len(evs) != 8 { // 2 cables x 2 directions x (down + up)
@@ -80,7 +85,7 @@ func TestInstallValidation(t *testing.T) {
 	for i, cfg := range bad {
 		eng := sim.NewEngine()
 		net := buildNet(eng)
-		if _, err := Install(eng, net.Links, cfg, sim.NewRNG(1), sim.Second); err == nil {
+		if _, err := Install(eng, target(net), cfg, sim.NewRNG(1), sim.Second); err == nil {
 			t.Errorf("case %d: Install accepted invalid config", i)
 		}
 	}
@@ -94,7 +99,7 @@ func TestInjectorDownUpWithReconvergence(t *testing.T) {
 		Events:          FailCables(netem.LayerAgg, 1, 10*sim.Millisecond, 30*sim.Millisecond),
 		ReconvergeDelay: 5 * sim.Millisecond,
 	}
-	inj, err := Install(eng, net.Links, cfg, sim.NewRNG(1), sim.Second)
+	inj, err := Install(eng, target(net), cfg, sim.NewRNG(1), sim.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +139,7 @@ func TestInjectorOverlappingOutagesUnion(t *testing.T) {
 	evs := append(
 		FailCables(netem.LayerAgg, 1, 10*sim.Millisecond, 40*sim.Millisecond),
 		FailCables(netem.LayerAgg, 1, 20*sim.Millisecond, 60*sim.Millisecond)...)
-	if _, err := Install(eng, net.Links, Config{Events: evs, ReconvergeDelay: 5 * sim.Millisecond},
+	if _, err := Install(eng, target(net), Config{Events: evs, ReconvergeDelay: 5 * sim.Millisecond},
 		sim.NewRNG(1), sim.Second); err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +165,7 @@ func TestInjectorOverlappingOutagesUnion(t *testing.T) {
 	eng2 := sim.NewEngine()
 	net2 := buildNet(eng2)
 	up := []Event{{At: sim.Millisecond, Kind: LinkUp, Layer: netem.LayerAgg, Index: 0}}
-	if _, err := Install(eng2, net2.Links, Config{Events: up}, sim.NewRNG(1), sim.Second); err != nil {
+	if _, err := Install(eng2, target(net2), Config{Events: up}, sim.NewRNG(1), sim.Second); err != nil {
 		t.Fatal(err)
 	}
 	eng2.Run()
@@ -174,7 +179,7 @@ func TestInjectorInstantReconvergence(t *testing.T) {
 	net := buildNet(eng)
 	agg := net.LinksAtLayer(netem.LayerAgg)
 	cfg := Config{Events: FailCables(netem.LayerAgg, 1, 10*sim.Millisecond, 0)}
-	if _, err := Install(eng, net.Links, cfg, sim.NewRNG(1), sim.Second); err != nil {
+	if _, err := Install(eng, target(net), cfg, sim.NewRNG(1), sim.Second); err != nil {
 		t.Fatal(err)
 	}
 	eng.At(10*sim.Millisecond+1, func() {
@@ -192,7 +197,7 @@ func TestInjectorLayerWideEvent(t *testing.T) {
 		At: sim.Millisecond, Kind: Degrade, Layer: netem.LayerAgg,
 		Index: -1, CapacityFactor: 0.25,
 	}}}
-	if _, err := Install(eng, net.Links, cfg, sim.NewRNG(1), sim.Second); err != nil {
+	if _, err := Install(eng, target(net), cfg, sim.NewRNG(1), sim.Second); err != nil {
 		t.Fatal(err)
 	}
 	eng.Run()
@@ -215,7 +220,7 @@ func TestInjectorDegradeAndRestore(t *testing.T) {
 	agg := net.LinksAtLayer(netem.LayerAgg)
 	evs := DegradeCables(netem.LayerAgg, 1, sim.Millisecond, 5*sim.Millisecond,
 		0.5, 100*sim.Microsecond, 0.25)
-	if _, err := Install(eng, net.Links, Config{Events: evs}, sim.NewRNG(1), sim.Second); err != nil {
+	if _, err := Install(eng, target(net), Config{Events: evs}, sim.NewRNG(1), sim.Second); err != nil {
 		t.Fatal(err)
 	}
 	eng.At(2*sim.Millisecond, func() {
@@ -237,11 +242,12 @@ func TestModelSampleDeterministicAndBounded(t *testing.T) {
 		{Layer: netem.LayerAgg, MTBF: 100 * sim.Millisecond, MTTR: 20 * sim.Millisecond},
 	}}
 	cables := func(netem.Layer) int { return 8 }
-	a, err := m.Sample(sim.NewRNG(7), cables, sim.Second)
+	noSwitches := func(netem.Layer) []int { return nil }
+	a, err := m.Sample(sim.NewRNG(7), cables, noSwitches, sim.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := m.Sample(sim.NewRNG(7), cables, sim.Second)
+	b, err := m.Sample(sim.NewRNG(7), cables, noSwitches, sim.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +265,7 @@ func TestModelSampleDeterministicAndBounded(t *testing.T) {
 			t.Errorf("event index %d out of cable-pair range", ev.Index)
 		}
 	}
-	c, err := m.Sample(sim.NewRNG(8), cables, sim.Second)
+	c, err := m.Sample(sim.NewRNG(8), cables, noSwitches, sim.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +274,7 @@ func TestModelSampleDeterministicAndBounded(t *testing.T) {
 	}
 	// Horizon field overrides the argument.
 	m.Horizon = 10 * sim.Millisecond
-	d, err := m.Sample(sim.NewRNG(7), cables, sim.Second)
+	d, err := m.Sample(sim.NewRNG(7), cables, noSwitches, sim.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,5 +304,208 @@ func TestKindString(t *testing.T) {
 		if got := k.String(); got != want {
 			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
 		}
+	}
+}
+
+func TestFailSwitchesShape(t *testing.T) {
+	evs := FailSwitches([]int{3, 7}, 10*sim.Millisecond, 50*sim.Millisecond)
+	if len(evs) != 4 {
+		t.Fatalf("events = %d, want 4 (2 switches x crash+restart)", len(evs))
+	}
+	downs, ups := 0, 0
+	for _, ev := range evs {
+		switch ev.Kind {
+		case SwitchDown:
+			downs++
+			if ev.At != 10*sim.Millisecond {
+				t.Errorf("crash at %v", ev.At)
+			}
+		case SwitchUp:
+			ups++
+			if ev.At != 50*sim.Millisecond {
+				t.Errorf("restart at %v", ev.At)
+			}
+		}
+		if ev.Index != 3 && ev.Index != 7 {
+			t.Errorf("unexpected switch ordinal %d", ev.Index)
+		}
+	}
+	if downs != 2 || ups != 2 {
+		t.Errorf("downs=%d ups=%d, want 2/2", downs, ups)
+	}
+	// upAt == 0: permanent crashes.
+	if evs := FailSwitches([]int{0}, sim.Millisecond, 0); len(evs) != 1 {
+		t.Errorf("unrestarted events = %d, want 1", len(evs))
+	}
+}
+
+func TestSwitchCrashKillsAllPortsAndAccounts(t *testing.T) {
+	eng := sim.NewEngine()
+	net := buildNet(eng)
+	// Ordinal 16 is core 0 on the K=4 FatTree (8 edges, 8 aggs, 4 cores):
+	// it terminates 8 unidirectional links (4 agg ports, both directions).
+	cfg := Config{
+		Events:          FailSwitches([]int{16}, 10*sim.Millisecond, 40*sim.Millisecond),
+		ReconvergeDelay: 5 * sim.Millisecond,
+	}
+	inj, err := Install(eng, target(net), cfg, sim.NewRNG(1), sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := net.Switches[16]
+	ports := 0
+	eng.At(20*sim.Millisecond, func() {
+		if !core.Down() {
+			t.Error("switch not down mid-crash")
+		}
+		for _, l := range net.Links {
+			if l.Src().ID() == core.ID() || l.Dst().ID() == core.ID() {
+				ports++
+				if !l.Down() {
+					t.Errorf("incident link %v survived the crash", l)
+				}
+				if !l.RouteDead() {
+					t.Errorf("incident link %v still routable after reconvergence", l)
+				}
+			} else if l.Down() {
+				t.Errorf("non-incident link %v failed by the crash", l)
+			}
+		}
+	})
+	eng.Run()
+	if ports != 8 {
+		t.Errorf("crash covered %d incident links, want 8", ports)
+	}
+	if core.Down() {
+		t.Error("switch still down after restart")
+	}
+	if core.Crashes != 1 || core.TimeDown(eng.Now()) != 30*sim.Millisecond {
+		t.Errorf("crash accounting: crashes=%d downtime=%v, want 1 and 30ms",
+			core.Crashes, core.TimeDown(eng.Now()))
+	}
+	if got := inj.CrashesBySwitch(); len(got) != 1 || got[16] != 1 {
+		t.Errorf("per-switch accounting = %v, want map[16:1]", got)
+	}
+	for _, l := range net.Links {
+		if l.Down() || l.RouteDead() {
+			t.Fatalf("link %v not healed after restart", l)
+		}
+	}
+}
+
+func TestSwitchCrashOverlapsWithLinkOutage(t *testing.T) {
+	eng := sim.NewEngine()
+	net := buildNet(eng)
+	// Agg-layer cable 0 (links 0 and 1) is agg(0,0)<->core0; core 0 is
+	// ordinal 16. The cable outage [10, 60]ms overlaps the switch crash
+	// [20, 40]ms; the restart must not resurrect the still-cut cable.
+	evs := append(FailCables(netem.LayerAgg, 1, 10*sim.Millisecond, 60*sim.Millisecond),
+		FailSwitches([]int{16}, 20*sim.Millisecond, 40*sim.Millisecond)...)
+	if _, err := Install(eng, target(net), Config{Events: evs}, sim.NewRNG(1), sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	cable := net.LinksAtLayer(netem.LayerAgg)[0]
+	eng.At(50*sim.Millisecond, func() {
+		if !cable.Down() {
+			t.Error("switch restart resurrected a cable still cut by the link outage")
+		}
+	})
+	eng.Run()
+	if cable.Down() {
+		t.Error("cable still down after both outages ended")
+	}
+}
+
+func TestSwitchModelSampling(t *testing.T) {
+	m := Model{Switches: []SwitchModel{
+		{Layer: netem.LayerCore, MTBF: 100 * sim.Millisecond, MTTR: 20 * sim.Millisecond},
+	}}
+	cables := func(netem.Layer) int { return 8 }
+	coreOrds := []int{16, 17, 18, 19}
+	switchesAt := func(l netem.Layer) []int {
+		if l == netem.LayerCore {
+			return coreOrds
+		}
+		return nil
+	}
+	evs, err := m.Sample(sim.NewRNG(7), cables, switchesAt, sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("MTBF << horizon sampled no crashes")
+	}
+	for _, ev := range evs {
+		if ev.Kind != SwitchDown && ev.Kind != SwitchUp {
+			t.Fatalf("unexpected kind %v in switch model sample", ev.Kind)
+		}
+		if ev.Index < 16 || ev.Index > 19 {
+			t.Errorf("sampled ordinal %d outside the core tier", ev.Index)
+		}
+	}
+	// No switches at the tier is an error.
+	m2 := Model{Switches: []SwitchModel{{Layer: netem.LayerHost, MTBF: 1, MTTR: 1}}}
+	if _, err := m2.Sample(sim.NewRNG(7), cables, switchesAt, sim.Second); err == nil {
+		t.Error("sampled crashes on an empty switch tier")
+	}
+}
+
+func TestGroupModelSamplesCorrelatedFailures(t *testing.T) {
+	m := Model{Groups: []GroupModel{
+		{Layer: netem.LayerAgg, Size: 4, MTBF: 50 * sim.Millisecond, MTTR: 10 * sim.Millisecond},
+	}}
+	cables := func(netem.Layer) int { return 8 } // two groups of 4
+	evs, err := m.Sample(sim.NewRNG(7), cables, func(netem.Layer) []int { return nil }, sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("group model sampled nothing")
+	}
+	// Correlation: at every firing instant, all four cables (8 link
+	// indices) of exactly one group change state together.
+	byTime := make(map[sim.Time][]Event)
+	for _, ev := range evs {
+		byTime[ev.At] = append(byTime[ev.At], ev)
+	}
+	for at, group := range byTime {
+		if len(group) != 8 {
+			t.Fatalf("t=%v: %d link events, want 8 (a whole group)", at, len(group))
+		}
+		lo := group[0].Index / 8 * 8
+		for _, ev := range group {
+			if ev.Kind != group[0].Kind {
+				t.Fatalf("t=%v: mixed kinds within one group instant", at)
+			}
+			if ev.Index < lo || ev.Index >= lo+8 {
+				t.Fatalf("t=%v: link %d outside group [%d,%d)", at, ev.Index, lo, lo+8)
+			}
+		}
+	}
+	// Group size must divide sensibly: zero size is an error.
+	bad := Model{Groups: []GroupModel{{Layer: netem.LayerAgg, MTBF: 1, MTTR: 1}}}
+	if _, err := bad.Sample(sim.NewRNG(1), cables, func(netem.Layer) []int { return nil }, sim.Second); err == nil {
+		t.Error("zero group size accepted")
+	}
+}
+
+func TestSwitchEventValidation(t *testing.T) {
+	bad := []Config{
+		{Events: []Event{{Kind: SwitchDown, Index: 999}}}, // out of range
+		{Events: []Event{{Kind: SwitchUp, Index: -2}}},    // below -1
+	}
+	for i, cfg := range bad {
+		eng := sim.NewEngine()
+		net := buildNet(eng)
+		if _, err := Install(eng, target(net), cfg, sim.NewRNG(1), sim.Second); err == nil {
+			t.Errorf("case %d: Install accepted invalid switch event", i)
+		}
+	}
+	// A network with no switches rejects switch events outright.
+	eng := sim.NewEngine()
+	net := buildNet(eng)
+	cfg := Config{Events: []Event{{Kind: SwitchDown, Index: 0}}}
+	if _, err := Install(eng, Target{Links: net.Links}, cfg, sim.NewRNG(1), sim.Second); err == nil {
+		t.Error("switch event accepted against a switchless target")
 	}
 }

@@ -5,6 +5,19 @@ import (
 	"repro/internal/sim"
 )
 
+// Target is the injectable view of a built network: every unidirectional
+// link, every switch, and each switch's tier (the layer of its uplinks),
+// all in builder order. topology.Network exposes exactly these slices;
+// keeping the coupling to three fields lets the injector drive hand-built
+// networks in tests too.
+type Target struct {
+	Links    []*netem.Link
+	Switches []*netem.Switch
+	// SwitchLayers tiers Switches (parallel slices) for the sampled
+	// switch-failure model. May be nil when no SwitchModel is used.
+	SwitchLayers []netem.Layer
+}
+
 // Injector owns a resolved, scheduled fault plan for one run. Install
 // builds it from a Config and the network's links, registers every
 // mutation on the engine, and the plan then replays itself as the clock
@@ -17,6 +30,14 @@ type Injector struct {
 	// order, for reporting and debugging.
 	Events []Event
 
+	// OnRouteChange, when set, fires after every routing-visible link
+	// transition (a link becoming route-dead or route-live, i.e. after
+	// the reconvergence delay). The global routing control plane hooks
+	// this to trigger a coalesced table recompute; the default local
+	// behaviour needs no notification because routers filter route-dead
+	// links on every lookup.
+	OnRouteChange func()
+
 	// Overlap counters. A link can be failed by several sources at once
 	// (an explicit schedule plus a sampled model); outages must union,
 	// not last-event-wins, or an early repair from one source would
@@ -25,6 +46,37 @@ type Injector struct {
 	// delayed); each link changes state only on 0<->1 transitions.
 	dataDown  map[*netem.Link]int
 	routeDown map[*netem.Link]int
+	// switchDown refcounts crash sources per switch ordinal, and
+	// switchCrashes accounts how many crashes each switch suffered.
+	switchDown    map[int]int
+	switchCrashes map[int]int
+
+	// switches and switchPorts resolve switch ordinals to the switch and
+	// its incident links (both directions of every port).
+	switches    []*netem.Switch
+	switchPorts map[int][]*netem.Link
+
+	// routeDeadLinks counts links currently excluded by routing; the
+	// topology's live path-count oracle polls it through Degraded.
+	routeDeadLinks int
+}
+
+// Degraded reports whether any link is currently excluded from routing.
+// While true, path counts must be derived from the live routing DAG
+// rather than the static topology formula.
+func (inj *Injector) Degraded() bool { return inj.routeDeadLinks > 0 }
+
+// RouteDeadLinks returns how many links routing currently excludes.
+func (inj *Injector) RouteDeadLinks() int { return inj.routeDeadLinks }
+
+// CrashesBySwitch returns per-switch crash counts keyed by switch
+// ordinal (only switches that crashed at least once appear).
+func (inj *Injector) CrashesBySwitch() map[int]int {
+	out := make(map[int]int, len(inj.switchCrashes))
+	for s, n := range inj.switchCrashes {
+		out[s] = n
+	}
+	return out
 }
 
 // failLink registers one more failure source on l, taking the link down
@@ -55,6 +107,10 @@ func (inj *Injector) deadenRoute(l *netem.Link) {
 	inj.routeDown[l]++
 	if inj.routeDown[l] == 1 {
 		l.SetRouteDead(true)
+		inj.routeDeadLinks++
+		if inj.OnRouteChange != nil {
+			inj.OnRouteChange()
+		}
 	}
 }
 
@@ -65,49 +121,152 @@ func (inj *Injector) reviveRoute(l *netem.Link) {
 	inj.routeDown[l]--
 	if inj.routeDown[l] == 0 {
 		l.SetRouteDead(false)
+		inj.routeDeadLinks--
+		if inj.OnRouteChange != nil {
+			inj.OnRouteChange()
+		}
 	}
 }
 
-// Install resolves cfg against the given links (grouped by their layer,
-// in slice order — builders append them deterministically), samples the
-// model if present using rng, validates everything, and schedules the
-// mutations on eng. horizon bounds model sampling (typically the run's
-// MaxSimTime). rng is only consumed when the config needs randomness
-// (model sampling, loss injection), always in a fixed order.
-func Install(eng *sim.Engine, links []*netem.Link, cfg Config, rng *sim.RNG, horizon sim.Time) (*Injector, error) {
+// crashSwitch registers one more crash source on switch ordinal s,
+// taking the switch (and all its ports) down on the first.
+func (inj *Injector) crashSwitch(s int) {
+	inj.switchDown[s]++
+	if inj.switchDown[s] > 1 {
+		return
+	}
+	inj.switchCrashes[s]++
+	inj.switches[s].SetDown(true)
+	for _, l := range inj.switchPorts[s] {
+		inj.failLink(l)
+		inj.scheduleRouteChange(l, true)
+	}
+}
+
+// restartSwitch removes one crash source from switch ordinal s, bringing
+// it back up when the last is gone. Unmatched restarts are no-ops.
+func (inj *Injector) restartSwitch(s int) {
+	if inj.switchDown[s] == 0 {
+		return
+	}
+	inj.switchDown[s]--
+	if inj.switchDown[s] > 0 {
+		return
+	}
+	inj.switches[s].SetDown(false)
+	for _, l := range inj.switchPorts[s] {
+		inj.repairLink(l)
+		inj.scheduleRouteChange(l, false)
+	}
+}
+
+// scheduleRouteChange applies the routing-plane side of a link state
+// change after the reconvergence delay (immediately when the delay is
+// zero).
+func (inj *Injector) scheduleRouteChange(l *netem.Link, dead bool) {
+	fn := inj.reviveRoute
+	if dead {
+		fn = inj.deadenRoute
+	}
+	if inj.reconverge > 0 {
+		inj.eng.Schedule(inj.reconverge, func() { fn(l) })
+		return
+	}
+	fn(l)
+}
+
+// Install resolves cfg against the target network (links grouped by
+// their layer, switches by ordinal — builders order both
+// deterministically), samples the model if present using rng, validates
+// everything, and schedules the mutations on eng. horizon bounds model
+// sampling (typically the run's MaxSimTime). rng is only consumed when
+// the config needs randomness (model sampling, loss injection), always
+// in a fixed order.
+func Install(eng *sim.Engine, target Target, cfg Config, rng *sim.RNG, horizon sim.Time) (*Injector, error) {
 	byLayer := make(map[netem.Layer][]*netem.Link)
-	for _, l := range links {
+	for _, l := range target.Links {
 		byLayer[l.Layer()] = append(byLayer[l.Layer()], l)
 	}
 	linksAt := func(layer netem.Layer) int { return len(byLayer[layer]) }
 
 	events := append([]Event(nil), cfg.Events...)
-	if len(cfg.Model.Layers) > 0 {
+	if cfg.Model.active() {
 		sampled, err := cfg.Model.Sample(rng.Split(), func(layer netem.Layer) int {
 			return len(byLayer[layer]) / 2
+		}, func(layer netem.Layer) []int {
+			var ords []int
+			for i, tier := range target.SwitchLayers {
+				if tier == layer {
+					ords = append(ords, i)
+				}
+			}
+			return ords
 		}, horizon)
 		if err != nil {
 			return nil, err
 		}
 		events = append(events, sampled...)
 	}
-	if err := validate(events, linksAt); err != nil {
+	if err := validate(events, linksAt, len(target.Switches)); err != nil {
 		return nil, err
 	}
 	sortEvents(events)
 
 	inj := &Injector{
-		eng:        eng,
-		reconverge: cfg.ReconvergeDelay,
-		Events:     events,
-		dataDown:   make(map[*netem.Link]int),
-		routeDown:  make(map[*netem.Link]int),
+		eng:           eng,
+		reconverge:    cfg.ReconvergeDelay,
+		Events:        events,
+		dataDown:      make(map[*netem.Link]int),
+		routeDown:     make(map[*netem.Link]int),
+		switchDown:    make(map[int]int),
+		switchCrashes: make(map[int]int),
+		switches:      target.Switches,
 	}
+
+	// Resolve switch ordinals to incident links once, and only if any
+	// event needs it.
+	needPorts := false
+	for _, ev := range events {
+		if ev.Kind == SwitchDown || ev.Kind == SwitchUp {
+			needPorts = true
+			break
+		}
+	}
+	if needPorts {
+		ordOf := make(map[netem.NodeID]int, len(target.Switches))
+		for i, sw := range target.Switches {
+			ordOf[sw.ID()] = i
+		}
+		inj.switchPorts = make(map[int][]*netem.Link)
+		for _, l := range target.Links {
+			if s, ok := ordOf[l.Src().ID()]; ok {
+				inj.switchPorts[s] = append(inj.switchPorts[s], l)
+			}
+			if s, ok := ordOf[l.Dst().ID()]; ok {
+				inj.switchPorts[s] = append(inj.switchPorts[s], l)
+			}
+		}
+	}
+
 	for _, ev := range events {
 		ev := ev
-		targets := byLayer[ev.Layer]
-		if ev.Index >= 0 {
-			targets = targets[ev.Index : ev.Index+1]
+		var targets []*netem.Link
+		var switchOrds []int
+		switch ev.Kind {
+		case SwitchDown, SwitchUp:
+			if ev.Index >= 0 {
+				switchOrds = []int{ev.Index}
+			} else {
+				switchOrds = make([]int, len(target.Switches))
+				for i := range switchOrds {
+					switchOrds[i] = i
+				}
+			}
+		default:
+			targets = byLayer[ev.Layer]
+			if ev.Index >= 0 {
+				targets = targets[ev.Index : ev.Index+1]
+			}
 		}
 		// Loss injection needs an RNG per event; split it now so RNG
 		// consumption is fixed at install time regardless of when (or
@@ -116,14 +275,23 @@ func Install(eng *sim.Engine, links []*netem.Link, cfg Config, rng *sim.RNG, hor
 		if ev.Kind == Degrade && ev.LossRate > 0 {
 			lossRNG = rng.Split()
 		}
-		targets2 := targets
-		eng.At(ev.At, func() { inj.apply(ev, targets2, lossRNG) })
+		targets2, ords2 := targets, switchOrds
+		eng.At(ev.At, func() { inj.apply(ev, targets2, ords2, lossRNG) })
 	}
 	return inj, nil
 }
 
-// apply executes one event against its resolved target links.
-func (inj *Injector) apply(ev Event, targets []*netem.Link, lossRNG *sim.RNG) {
+// apply executes one event against its resolved target links or switch
+// ordinals.
+func (inj *Injector) apply(ev Event, targets []*netem.Link, switchOrds []int, lossRNG *sim.RNG) {
+	for _, s := range switchOrds {
+		switch ev.Kind {
+		case SwitchDown:
+			inj.crashSwitch(s)
+		case SwitchUp:
+			inj.restartSwitch(s)
+		}
+	}
 	for _, l := range targets {
 		l := l
 		switch ev.Kind {
@@ -131,20 +299,12 @@ func (inj *Injector) apply(ev Event, targets []*netem.Link, lossRNG *sim.RNG) {
 			inj.failLink(l)
 			// The blackhole window: data keeps dying on the link until
 			// routing notices, reconverge later.
-			if inj.reconverge > 0 {
-				inj.eng.Schedule(inj.reconverge, func() { inj.deadenRoute(l) })
-			} else {
-				inj.deadenRoute(l)
-			}
+			inj.scheduleRouteChange(l, true)
 		case LinkUp:
 			inj.repairLink(l)
 			// Repair is symmetric: the link carries traffic the instant
 			// it is up, but ECMP only re-admits it after reconvergence.
-			if inj.reconverge > 0 {
-				inj.eng.Schedule(inj.reconverge, func() { inj.reviveRoute(l) })
-			} else {
-				inj.reviveRoute(l)
-			}
+			inj.scheduleRouteChange(l, false)
 		case Degrade:
 			if ev.CapacityFactor != 0 {
 				l.SetRateFactor(ev.CapacityFactor)

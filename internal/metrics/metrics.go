@@ -187,6 +187,18 @@ func (s Summary) String() string {
 		s.Count, s.MeanMs, s.StdMs, s.P50Ms, s.P95Ms, s.P99Ms, s.MaxMs, s.WithRTO, s.Incomplete)
 }
 
+// RoutingStats reports the routing control plane's work during a run:
+// which repair mode was active and, in global mode, how often the tables
+// were rebuilt, when routing last converged, and how many (switch,
+// destination) entries diverged from the structural fast path at run
+// end. A local-mode (or healthy) run reports zero recomputes.
+type RoutingStats struct {
+	Mode            string
+	Recomputes      int
+	LastConvergence sim.Time
+	Overrides       int
+}
+
 // LayerStats aggregates link counters at one topology layer.
 type LayerStats struct {
 	Links       int

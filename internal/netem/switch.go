@@ -56,6 +56,12 @@ type Switch struct {
 	router Router
 	seed   uint32
 
+	// down marks a crashed switch (all ports dead, forwarding plane
+	// gone). The faults subsystem drives it together with the incident
+	// links; see SetDown.
+	down      bool
+	downSince sim.Time
+
 	// Stats
 	Forwarded int64
 	Dropped   int64 // packets discarded due to the hop-count backstop
@@ -63,6 +69,15 @@ type Switch struct {
 	// empty equal-cost set — every candidate link toward the destination
 	// was excluded by failures. On a healthy network this stays zero.
 	NoRoute int64
+	// Crashes counts how many times the switch went down, and CrashDrops
+	// the packets that reached it while crashed (rare: the incident links
+	// blackhole almost everything first, but a packet already queued on
+	// an inbound link when the crash fires can still arrive).
+	Crashes    int64
+	CrashDrops int64
+	// DownTime accumulates completed down intervals; TimeDown adds a
+	// still-open one.
+	DownTime sim.Time
 }
 
 // NewSwitch creates a switch. seed perturbs the ECMP hash so that
@@ -76,14 +91,54 @@ func NewSwitch(eng *sim.Engine, id NodeID, seed uint32) *Switch {
 func (s *Switch) ID() NodeID { return s.id }
 
 // SetRouter installs the routing function. Topology builders call this
-// once wiring is complete.
+// once wiring is complete, and the routing control plane swaps in a
+// wrapped router when global reconvergence is enabled.
 func (s *Switch) SetRouter(r Router) { s.router = r }
+
+// Router returns the currently installed routing function.
+func (s *Switch) Router() Router { return s.router }
+
+// Down reports whether the switch is crashed.
+func (s *Switch) Down() bool { return s.down }
+
+// SetDown crashes or restarts the switch. The faults injector pairs this
+// with failing/repairing every incident link, so the flag is mostly
+// accounting: Crashes counts crash events, DownTime the time spent dead,
+// and Receive discards anything that still arrives while down.
+func (s *Switch) SetDown(down bool) {
+	if down == s.down {
+		return
+	}
+	now := s.eng.Now()
+	if down {
+		s.down = true
+		s.Crashes++
+		s.downSince = now
+		return
+	}
+	s.down = false
+	s.DownTime += now - s.downSince
+}
+
+// TimeDown returns the total time the switch has spent crashed up to
+// now, including a still-open crash interval.
+func (s *Switch) TimeDown(now sim.Time) sim.Time {
+	d := s.DownTime
+	if s.down && now > s.downSince {
+		d += now - s.downSince
+	}
+	return d
+}
 
 // Receive implements Node: look up the equal-cost set for the packet's
 // destination, pick a link by flow hash, and enqueue. A packet with no
 // surviving route is counted and dropped — transports see the loss the
 // same way they see a blackhole, through silence.
 func (s *Switch) Receive(p *Packet, from *Link) {
+	if s.down {
+		s.CrashDrops++
+		return
+	}
 	if p.Hops > maxHops {
 		s.Dropped++
 		return

@@ -256,3 +256,35 @@ func TestSwitchExcludesRouteDeadLink(t *testing.T) {
 type liveRouter struct{ links []*Link }
 
 func (r *liveRouter) NextLinks(dst NodeID) []*Link { return LiveLinks(r.links) }
+
+func TestSwitchCrashState(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewSwitch(eng, 100, 7)
+	s := newSink(eng, 0)
+	link := NewLink(eng, sw, s, 1_000_000_000, 0, 10, LayerAgg)
+	sw.SetRouter(&staticRouter{[]*Link{link}})
+
+	eng.At(10*sim.Millisecond, func() { sw.SetDown(true) })
+	eng.At(20*sim.Millisecond, func() {
+		if !sw.Down() {
+			t.Error("switch not down")
+		}
+		// Redundant crash sources must not double-count.
+		sw.SetDown(true)
+		sw.Receive(dataPacket(1500), nil)
+	})
+	eng.At(30*sim.Millisecond, func() { sw.SetDown(false) })
+	eng.Run()
+	if sw.Down() {
+		t.Error("switch still down after restart")
+	}
+	if sw.Crashes != 1 {
+		t.Errorf("crashes = %d, want 1", sw.Crashes)
+	}
+	if sw.CrashDrops != 1 || sw.Forwarded != 0 {
+		t.Errorf("crashed switch forwarded: crash_drops=%d forwarded=%d", sw.CrashDrops, sw.Forwarded)
+	}
+	if sw.TimeDown(eng.Now()) != 20*sim.Millisecond {
+		t.Errorf("downtime = %v, want 20ms", sw.TimeDown(eng.Now()))
+	}
+}

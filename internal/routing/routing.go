@@ -1,0 +1,280 @@
+// Package routing is the global routing control plane. Without it,
+// reconvergence is link-local: each switch filters its own route-dead
+// links out of its equal-cost sets (netem.LiveLinks), but upstream ECMP
+// keeps hashing onto next hops that lost their only way forward — a core
+// switch whose sole downlink to a pod died still receives that pod's
+// traffic and drops it as NoRoute. The control plane closes that gap: it
+// owns a wrapped router per switch and, whenever the fault injector
+// flips a link's routing state (reconvergence-delayed), recomputes
+// global reachability with a breadth-first pass over the live links and
+// overrides exactly the (switch, destination) entries whose equal-cost
+// sets diverge from the structural fast path.
+//
+// The healthy network never pays for the indirection beyond a nil check:
+// overrides exist only for destinations whose reachability actually
+// changed, every other lookup falls through to the structural router
+// (the FatTree's allocation-free addressing-based sets, or the generic
+// BFS tables). Recomputes are coalesced — any number of simultaneous
+// link transitions (a switch crash kills dozens of ports at one instant)
+// trigger exactly one table rebuild, scheduled at the same virtual time
+// — and everything is deterministic: the pass iterates hosts and
+// switches in builder order, so identical fault schedules yield
+// byte-identical routing at any sweep worker count.
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Mode selects the repair model for a run.
+type Mode string
+
+const (
+	// Local is the baseline: switches exclude their own route-dead links
+	// and nothing else — upstream ECMP stays oblivious.
+	Local Mode = "local"
+	// Global recomputes reachability network-wide after each
+	// (reconvergence-delayed) link state change, so ECMP everywhere
+	// steers around paths that cannot reach the destination.
+	Global Mode = "global"
+)
+
+// ParseMode validates a mode string; empty means Local.
+func ParseMode(s string) (Mode, error) {
+	switch Mode(s) {
+	case "", Local:
+		return Local, nil
+	case Global:
+		return Global, nil
+	}
+	return "", fmt.Errorf("routing: unknown mode %q (want %q or %q)", s, Local, Global)
+}
+
+// Stats reports the control plane's work during a run.
+type Stats struct {
+	// Recomputes counts global table rebuilds (coalesced: simultaneous
+	// link transitions share one).
+	Recomputes int
+	// LastConvergence is the virtual time of the most recent rebuild.
+	LastConvergence sim.Time
+	// Overrides is the number of (switch, destination) entries diverging
+	// from the structural routers after the last rebuild.
+	Overrides int
+}
+
+// table is the per-switch router the control plane installs: overrides
+// first, structural fast path otherwise. On a healthy network override
+// is nil and every lookup is a nil check plus the base call.
+type table struct {
+	base     netem.Router
+	override map[netem.NodeID][]*netem.Link
+}
+
+// NextLinks implements netem.Router.
+func (t *table) NextLinks(dst netem.NodeID) []*netem.Link {
+	if t.override != nil {
+		if eq, ok := t.override[dst]; ok {
+			return eq
+		}
+	}
+	return t.base.NextLinks(dst)
+}
+
+// ControlPlane owns the wrapped routers of one built network and rebuilds
+// their override entries on demand. Create with Install, trigger with
+// Invalidate (typically wired to faults.Injector.OnRouteChange).
+type ControlPlane struct {
+	eng *sim.Engine
+	net *topology.Network
+
+	// tables is parallel to net.Switches.
+	tables []*table
+
+	// Immutable adjacency, computed once at install.
+	out    map[netem.NodeID][]*netem.Link // outgoing links per node
+	in     map[netem.NodeID][]*netem.Link // incoming links per node
+	isHost map[netem.NodeID]bool
+
+	dirty bool
+	stats Stats
+}
+
+// Install wraps every switch's router of the network with a control-plane
+// table and returns the plane. Until the first Invalidate the tables are
+// pure pass-throughs, so installing on a network that never degrades is
+// behaviour-neutral.
+func Install(eng *sim.Engine, net *topology.Network) *ControlPlane {
+	cp := &ControlPlane{
+		eng:    eng,
+		net:    net,
+		out:    make(map[netem.NodeID][]*netem.Link),
+		in:     make(map[netem.NodeID][]*netem.Link),
+		isHost: make(map[netem.NodeID]bool, len(net.Hosts)),
+	}
+	for _, l := range net.Links {
+		cp.out[l.Src().ID()] = append(cp.out[l.Src().ID()], l)
+		cp.in[l.Dst().ID()] = append(cp.in[l.Dst().ID()], l)
+	}
+	for _, h := range net.Hosts {
+		cp.isHost[h.ID()] = true
+	}
+	cp.tables = make([]*table, 0, len(net.Switches))
+	net.WrapRouters(func(sw *netem.Switch, base netem.Router) netem.Router {
+		t := &table{base: base}
+		cp.tables = append(cp.tables, t)
+		return t
+	})
+	return cp
+}
+
+// Stats returns the work counters.
+func (cp *ControlPlane) Stats() Stats { return cp.stats }
+
+// Invalidate marks the tables stale and schedules one recompute at the
+// current virtual time. Any number of Invalidate calls before that
+// recompute runs coalesce into it — a switch crash that deadens dozens
+// of ports at one instant costs a single table rebuild.
+func (cp *ControlPlane) Invalidate() {
+	if cp.dirty {
+		return
+	}
+	cp.dirty = true
+	cp.eng.Schedule(0, cp.Recompute)
+}
+
+// Recompute rebuilds every override entry from the live link state. It
+// is normally reached through Invalidate; tests may call it directly.
+func (cp *ControlPlane) Recompute() {
+	cp.dirty = false
+	cp.stats.Recomputes++
+	cp.stats.LastConvergence = cp.eng.Now()
+
+	// Distances from every switch to the destination are fully
+	// determined by which of the destination's access downlinks are
+	// route-live, so hosts sharing a live attachment signature (all
+	// single-homed hosts under one edge switch, typically) share one BFS.
+	cache := make(map[string]map[netem.NodeID]int32)
+	var keyBuf []byte
+	for _, h := range cp.net.Hosts {
+		dst := h.ID()
+		keyBuf = keyBuf[:0]
+		var sources []*netem.Link
+		for _, l := range cp.in[dst] {
+			if !l.RouteDead() {
+				sources = append(sources, l)
+				id := l.Src().ID()
+				keyBuf = append(keyBuf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+			}
+		}
+		dist, ok := cache[string(keyBuf)]
+		if !ok {
+			dist = cp.bfs(sources)
+			cache[string(keyBuf)] = dist
+		}
+		cp.reconcile(dst, dist)
+	}
+
+	live := 0
+	for _, t := range cp.tables {
+		if len(t.override) == 0 {
+			// Fully healed: drop the empty map so the forwarding path
+			// returns to the documented nil-check fast path.
+			t.override = nil
+			continue
+		}
+		live += len(t.override)
+	}
+	cp.stats.Overrides = live
+}
+
+// bfs returns hop distances from every switch to a destination whose
+// live access downlinks are sources (each source's src switch is one hop
+// away). Expansion walks the reversed live graph and never tunnels
+// through hosts.
+func (cp *ControlPlane) bfs(sources []*netem.Link) map[netem.NodeID]int32 {
+	dist := make(map[netem.NodeID]int32, len(cp.net.Switches))
+	var frontier []netem.NodeID
+	for _, l := range sources {
+		id := l.Src().ID()
+		if _, seen := dist[id]; !seen {
+			dist[id] = 1
+			frontier = append(frontier, id)
+		}
+	}
+	for len(frontier) > 0 {
+		var next []netem.NodeID
+		for _, v := range frontier {
+			for _, l := range cp.in[v] {
+				if l.RouteDead() {
+					continue
+				}
+				u := l.Src().ID()
+				if cp.isHost[u] {
+					continue
+				}
+				if _, seen := dist[u]; !seen {
+					dist[u] = dist[v] + 1
+					next = append(next, u)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// reconcile installs or clears the override entry of every switch for
+// destination dst, given the live hop distances.
+func (cp *ControlPlane) reconcile(dst netem.NodeID, dist map[netem.NodeID]int32) {
+	for i, sw := range cp.net.Switches {
+		t := cp.tables[i]
+		var eq []*netem.Link
+		if d, ok := dist[sw.ID()]; ok {
+			for _, l := range cp.out[sw.ID()] {
+				if l.RouteDead() {
+					continue
+				}
+				to := l.Dst().ID()
+				if to == dst {
+					if d == 1 {
+						eq = append(eq, l)
+					}
+					continue
+				}
+				if nd, ok := dist[to]; ok && nd == d-1 {
+					eq = append(eq, l)
+				}
+			}
+		}
+		if sameLinks(eq, t.base.NextLinks(dst)) {
+			if t.override != nil {
+				delete(t.override, dst)
+			}
+			continue
+		}
+		if t.override == nil {
+			t.override = make(map[netem.NodeID][]*netem.Link)
+		}
+		t.override[dst] = eq
+	}
+}
+
+// sameLinks reports whether two equal-cost sets are identical, element
+// for element. Order matters: ECMP hashes index into the slice, and both
+// sides derive their order from the builder's wiring order, so a healthy
+// prefix compares equal without set arithmetic.
+func sameLinks(a, b []*netem.Link) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,326 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// buildFatTree returns a K=4 FatTree (16 hosts, 8 edge + 8 agg + 4 core
+// switches) with a control plane installed.
+func buildFatTree(eng *sim.Engine) (*topology.Network, *ControlPlane) {
+	ft := topology.NewFatTree(eng, topology.FatTreeConfig{K: 4, Link: topology.DefaultLinkConfig()})
+	return &ft.Network, Install(eng, &ft.Network)
+}
+
+// install wires a fault plan to the control plane the way run.go does.
+func install(t *testing.T, eng *sim.Engine, net *topology.Network, cp *ControlPlane, cfg faults.Config) *faults.Injector {
+	t.Helper()
+	inj, err := faults.Install(eng, faults.Target{
+		Links: net.Links, Switches: net.Switches, SwitchLayers: net.SwitchLayers,
+	}, cfg, sim.NewRNG(1), sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.OnRouteChange = cp.Invalidate
+	net.SetDegraded(inj.Degraded)
+	return inj
+}
+
+func TestParseMode(t *testing.T) {
+	for s, want := range map[string]Mode{"": Local, "local": Local, "global": Global} {
+		got, err := ParseMode(s)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseMode("quantum"); err == nil {
+		t.Error("ParseMode accepted an unknown mode")
+	}
+}
+
+// TestHealthyRecomputeInstallsNoOverrides locks in the fast-path
+// guarantee: on an undamaged network the BFS pass agrees with every
+// structural router exactly, so a recompute leaves zero overrides and
+// forwarding identical to the base.
+func TestHealthyRecomputeInstallsNoOverrides(t *testing.T) {
+	eng := sim.NewEngine()
+	net, cp := buildFatTree(eng)
+	cp.Recompute()
+	st := cp.Stats()
+	if st.Recomputes != 1 || st.Overrides != 0 {
+		t.Fatalf("healthy recompute: %+v, want 1 recompute and 0 overrides", st)
+	}
+	// Spot-check forwarding: every switch still yields non-empty sets
+	// for every host.
+	for _, sw := range net.Switches {
+		for _, h := range net.Hosts {
+			if len(sw.Router().NextLinks(h.ID())) == 0 {
+				t.Fatalf("switch %d has no route to host %d after healthy recompute", sw.ID(), h.ID())
+			}
+		}
+	}
+}
+
+// TestGlobalReconvergenceStopsUpstreamHashing is the subsystem's reason
+// to exist: after agg(0,0)-core0 dies, core 0 cannot reach pod 0, and
+// with only local repair the aggregation switches of other pods keep
+// hashing pod-0 traffic onto core 0 (NoRoute at the core). The control
+// plane must remove core 0 from their equal-cost sets for pod-0
+// destinations — and nothing else.
+func TestGlobalReconvergenceStopsUpstreamHashing(t *testing.T) {
+	eng := sim.NewEngine()
+	net, cp := buildFatTree(eng)
+	// Switch ordinals: 0-7 edges, 8-15 aggs (pod p local a = 8+2p+a),
+	// 16-19 cores. Cable 0 at the agg layer is agg(0,0)<->core0.
+	agg10 := net.Switches[8+2*1+0] // pod 1, local index 0: uplinks to cores 0 and 1
+	core0 := net.Switches[16]
+	dstPod0 := net.Hosts[0].ID()
+	dstPod1 := net.Hosts[4].ID()
+
+	if n := len(agg10.Router().NextLinks(dstPod0)); n != 2 {
+		t.Fatalf("healthy agg(1,0) has %d uplinks toward pod 0, want 2", n)
+	}
+	install(t, eng, net, cp, faults.Config{
+		Events: faults.FailCables(netem.LayerAgg, 1, 10*sim.Millisecond, 0),
+	})
+	eng.RunUntil(20 * sim.Millisecond)
+
+	eq := agg10.Router().NextLinks(dstPod0)
+	if len(eq) != 1 {
+		t.Fatalf("agg(1,0) equal-cost set toward pod 0 = %d links, want 1 (core 0 excluded)", len(eq))
+	}
+	if eq[0].Dst().ID() == core0.ID() {
+		t.Fatal("agg(1,0) still routes pod-0 traffic via core 0, which lost its pod-0 downlink")
+	}
+	// Traffic toward pods core 0 can still reach is untouched: pod-1
+	// destinations keep both uplinks at agg(2,0).
+	agg20 := net.Switches[8+2*2+0]
+	if n := len(agg20.Router().NextLinks(dstPod1)); n != 2 {
+		t.Fatalf("agg(2,0) toward pod 1 = %d links, want 2 (core 0 is still fine there)", n)
+	}
+	st := cp.Stats()
+	if st.Recomputes != 1 {
+		t.Errorf("recomputes = %d, want 1 (both directions of the cable die at one instant)", st.Recomputes)
+	}
+	if st.Overrides == 0 {
+		t.Error("no overrides installed despite changed reachability")
+	}
+	if st.LastConvergence != 10*sim.Millisecond {
+		t.Errorf("last convergence at %v, want 10ms (instant reconvergence)", st.LastConvergence)
+	}
+	// The live path count shrank for pod-0 destinations: only 3 of the
+	// 4 agg->core->agg paths survive from pod 1.
+	if got := net.PathCount(dstPod1, dstPod0); got != 3 {
+		t.Errorf("live path count pod1->pod0 = %d, want 3", got)
+	}
+}
+
+// TestRecomputeCoalescing crashes a core switch — which deadens every
+// port at one instant — and expects exactly one recompute for the crash
+// and one for the restart, not one per port.
+func TestRecomputeCoalescing(t *testing.T) {
+	eng := sim.NewEngine()
+	net, cp := buildFatTree(eng)
+	install(t, eng, net, cp, faults.Config{
+		Events:          faults.FailSwitches([]int{16}, 10*sim.Millisecond, 50*sim.Millisecond),
+		ReconvergeDelay: 5 * sim.Millisecond,
+	})
+	eng.Run()
+	st := cp.Stats()
+	if st.Recomputes != 2 {
+		t.Errorf("recomputes = %d, want 2 (crash + restart, coalesced over 8 ports)", st.Recomputes)
+	}
+	if st.Overrides != 0 {
+		t.Errorf("overrides = %d after full restart, want 0", st.Overrides)
+	}
+	if !cpCleared(cp) {
+		t.Error("override maps not empty after the network healed")
+	}
+}
+
+// cpCleared reports whether every table's override map is empty.
+func cpCleared(cp *ControlPlane) bool {
+	for _, tab := range cp.tables {
+		if len(tab.override) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGlobalLivenessAfterFaults verifies the liveness contract on every
+// topology family: after a fault that does not physically partition the
+// tested pair, a recomputed control plane still offers a positive live
+// path count (and forwarding sets all the way to the destination).
+func TestGlobalLivenessAfterFaults(t *testing.T) {
+	cases := []struct {
+		name     string
+		build    func(eng *sim.Engine) *topology.Network
+		cfg      faults.Config
+		src, dst int
+	}{
+		{
+			name: "fattree/single-link",
+			build: func(eng *sim.Engine) *topology.Network {
+				ft := topology.NewFatTree(eng, topology.FatTreeConfig{K: 4, Link: topology.DefaultLinkConfig()})
+				return &ft.Network
+			},
+			cfg: faults.Config{Events: faults.FailCables(netem.LayerAgg, 1, sim.Millisecond, 0)},
+			src: 4, dst: 0,
+		},
+		{
+			name: "fattree/switch-crash",
+			build: func(eng *sim.Engine) *topology.Network {
+				ft := topology.NewFatTree(eng, topology.FatTreeConfig{K: 4, Link: topology.DefaultLinkConfig()})
+				return &ft.Network
+			},
+			// Crash one core and one aggregation switch.
+			cfg: faults.Config{Events: faults.FailSwitches([]int{16, 8}, sim.Millisecond, 0)},
+			src: 4, dst: 0,
+		},
+		{
+			name: "fattree/correlated-group",
+			build: func(eng *sim.Engine) *topology.Network {
+				ft := topology.NewFatTree(eng, topology.FatTreeConfig{K: 4, Link: topology.DefaultLinkConfig()})
+				return &ft.Network
+			},
+			// Both uplink cables of agg(0,0) die together (a line card).
+			cfg: faults.Config{Model: faults.Model{
+				Groups:  []faults.GroupModel{{Layer: netem.LayerAgg, Size: 2, MTBF: 2 * sim.Millisecond, MTTR: 10 * sim.Second}},
+				Horizon: 4 * sim.Millisecond,
+			}},
+			src: 4, dst: 0,
+		},
+		{
+			name: "vl2/single-link",
+			build: func(eng *sim.Engine) *topology.Network {
+				v := topology.NewVL2(eng, topology.VL2Config{DA: 4, DI: 2, HostsPerToR: 2, Link: topology.DefaultLinkConfig()})
+				return &v.Network
+			},
+			cfg: faults.Config{Events: faults.FailCables(netem.LayerEdge, 1, sim.Millisecond, 0)},
+			src: 2, dst: 0,
+		},
+		{
+			name: "vl2/switch-crash",
+			build: func(eng *sim.Engine) *topology.Network {
+				v := topology.NewVL2(eng, topology.VL2Config{DA: 4, DI: 2, HostsPerToR: 2, Link: topology.DefaultLinkConfig()})
+				return &v.Network
+			},
+			// Crash one intermediate switch (ToRs 0-7, aggs 8-11, ints 12-13).
+			cfg: faults.Config{Events: faults.FailSwitches([]int{12}, sim.Millisecond, 0)},
+			src: 2, dst: 0,
+		},
+		{
+			name: "dumbbell/host-link",
+			build: func(eng *sim.Engine) *topology.Network {
+				d := topology.NewDumbbell(eng, topology.DumbbellConfig{HostsPerSide: 3, Link: topology.DefaultLinkConfig()})
+				return &d.Network
+			},
+			// Host 1's access cable (host-layer links 2 and 3) dies;
+			// host 0 <-> host 3 is untouched.
+			cfg: faults.Config{Events: []faults.Event{
+				{At: sim.Millisecond, Kind: faults.LinkDown, Layer: netem.LayerHost, Index: 2},
+				{At: sim.Millisecond, Kind: faults.LinkDown, Layer: netem.LayerHost, Index: 3},
+			}, ReconvergeDelay: sim.Millisecond},
+			src: 0, dst: 3,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := sim.NewEngine()
+			net := tc.build(eng)
+			cp := Install(eng, net)
+			install(t, eng, net, cp, tc.cfg)
+			eng.RunUntil(100 * sim.Millisecond)
+			if cp.Stats().Recomputes == 0 {
+				t.Fatal("fault plan triggered no recompute")
+			}
+			src, dst := net.Hosts[tc.src].ID(), net.Hosts[tc.dst].ID()
+			if physicallyConnected(net, src, dst) && net.PathCount(src, dst) <= 0 {
+				t.Fatalf("pair %d->%d physically connected but live path count is 0", tc.src, tc.dst)
+			}
+			// The stronger contract, checked pairwise across the whole
+			// network against an independent BFS: the control plane finds
+			// a route exactly when the live graph has one.
+			for _, hs := range net.Hosts {
+				for _, hd := range net.Hosts {
+					if hs == hd {
+						continue
+					}
+					want := physicallyConnected(net, hs.ID(), hd.ID())
+					got := net.PathCount(hs.ID(), hd.ID()) > 0
+					if got != want {
+						t.Fatalf("pair %d->%d: live path count says reachable=%t, independent BFS says %t",
+							hs.ID(), hd.ID(), got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// physicallyConnected is an independent forward BFS over route-live
+// links (never tunnelling through other hosts), used as ground truth for
+// the control plane's reachability.
+func physicallyConnected(net *topology.Network, src, dst netem.NodeID) bool {
+	out := make(map[netem.NodeID][]*netem.Link)
+	for _, l := range net.Links {
+		if !l.RouteDead() {
+			out[l.Src().ID()] = append(out[l.Src().ID()], l)
+		}
+	}
+	isHost := make(map[netem.NodeID]bool)
+	for _, h := range net.Hosts {
+		isHost[h.ID()] = true
+	}
+	seen := map[netem.NodeID]bool{src: true}
+	frontier := []netem.NodeID{src}
+	for len(frontier) > 0 {
+		var next []netem.NodeID
+		for _, v := range frontier {
+			for _, l := range out[v] {
+				u := l.Dst().ID()
+				if u == dst {
+					return true
+				}
+				if seen[u] || isHost[u] {
+					continue
+				}
+				seen[u] = true
+				next = append(next, u)
+			}
+		}
+		frontier = next
+	}
+	return false
+}
+
+// TestDumbbellHostLinkOverride pins down the sharper global-repair
+// property on the dumbbell: once host 1's access cable is dead, the left
+// switch's equal-cost set for host 1 must become empty at the *right*
+// switch too (it learns the destination is gone), so cross-bottleneck
+// traffic to a dead host dies at the first switch instead of crossing
+// the shared bottleneck first.
+func TestDumbbellHostLinkOverride(t *testing.T) {
+	eng := sim.NewEngine()
+	d := topology.NewDumbbell(eng, topology.DumbbellConfig{HostsPerSide: 3, Link: topology.DefaultLinkConfig()})
+	net := &d.Network
+	cp := Install(eng, net)
+	// Host-layer cable 1 (links 2 and 3) is host 1's access pair.
+	install(t, eng, net, cp, faults.Config{Events: []faults.Event{
+		{At: sim.Millisecond, Kind: faults.LinkDown, Layer: netem.LayerHost, Index: 2},
+		{At: sim.Millisecond, Kind: faults.LinkDown, Layer: netem.LayerHost, Index: 3},
+	}})
+	eng.RunUntil(10 * sim.Millisecond)
+	right := net.Switches[1]
+	if n := len(right.Router().NextLinks(net.Hosts[0].ID())); n == 0 {
+		t.Fatal("right switch lost its route to a healthy host")
+	}
+	if eq := right.Router().NextLinks(net.Hosts[1].ID()); len(eq) != 0 {
+		t.Fatalf("right switch still forwards toward dead host 1 (%d links)", len(eq))
+	}
+}

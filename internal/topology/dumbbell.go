@@ -66,6 +66,9 @@ func NewDumbbell(eng *sim.Engine, cfg DumbbellConfig) *Dumbbell {
 	id++
 	right := netem.NewSwitch(eng, id, 2)
 	d.Switches = append(d.Switches, left, right)
+	// Both switches sit at the core tier: their inter-switch cable is
+	// the LayerCore bottleneck.
+	d.SwitchLayers = append(d.SwitchLayers, netem.LayerCore, netem.LayerCore)
 
 	for i := 0; i < n; i++ {
 		up, _ := d.connectHost(d.Hosts[i], left, cfg.Link, netem.LayerHost)

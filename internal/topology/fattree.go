@@ -98,23 +98,24 @@ func NewFatTree(eng *sim.Engine, cfg FatTreeConfig) *FatTree {
 		nextID++
 	}
 	seedRNG := sim.NewRNG(cfg.Seed ^ 0x5eed_fa77_ee00_0001)
-	mkSwitch := func() *netem.Switch {
+	mkSwitch := func(tier netem.Layer) *netem.Switch {
 		sw := netem.NewSwitch(eng, nextID, seedRNG.Uint32())
 		nextID++
 		f.Switches = append(f.Switches, sw)
+		f.SwitchLayers = append(f.SwitchLayers, tier)
 		return sw
 	}
 	edges := make([]*netem.Switch, numEdge)
 	for i := range edges {
-		edges[i] = mkSwitch()
+		edges[i] = mkSwitch(netem.LayerEdge)
 	}
 	aggs := make([]*netem.Switch, numAgg)
 	for i := range aggs {
-		aggs[i] = mkSwitch()
+		aggs[i] = mkSwitch(netem.LayerAgg)
 	}
 	cores := make([]*netem.Switch, numCore)
 	for i := range cores {
-		cores[i] = mkSwitch()
+		cores[i] = mkSwitch(netem.LayerCore)
 	}
 
 	// Routers, populated while wiring.

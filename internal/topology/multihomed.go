@@ -66,24 +66,25 @@ func NewMultiHomed(eng *sim.Engine, cfg MultiHomedConfig) *MultiHomed {
 		nextID++
 	}
 	seedRNG := sim.NewRNG(cfg.Seed ^ 0x5eed_fa77_ee00_0002)
-	mkSwitch := func() *netem.Switch {
+	mkSwitch := func(tier netem.Layer) *netem.Switch {
 		sw := netem.NewSwitch(eng, nextID, seedRNG.Uint32())
 		nextID++
 		m.Switches = append(m.Switches, sw)
+		m.SwitchLayers = append(m.SwitchLayers, tier)
 		return sw
 	}
 	numEdge := k * half
 	edges := make([]*netem.Switch, numEdge)
 	for i := range edges {
-		edges[i] = mkSwitch()
+		edges[i] = mkSwitch(netem.LayerEdge)
 	}
 	aggs := make([]*netem.Switch, k*half)
 	for i := range aggs {
-		aggs[i] = mkSwitch()
+		aggs[i] = mkSwitch(netem.LayerAgg)
 	}
 	cores := make([]*netem.Switch, half*half)
 	for i := range cores {
-		cores[i] = mkSwitch()
+		cores[i] = mkSwitch(netem.LayerCore)
 	}
 
 	// Host links: primary to edge e, secondary to edge (e+1) mod half

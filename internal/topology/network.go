@@ -73,16 +73,29 @@ type Network struct {
 	Eng      *sim.Engine
 	Hosts    []*netem.Host
 	Switches []*netem.Switch
-	Links    []*netem.Link
-	Kind     string
+	// SwitchLayers tiers Switches (parallel slices): a switch's tier is
+	// the layer of its uplinks (edge LayerEdge, aggregation LayerAgg,
+	// core/intermediate LayerCore). Builders register every switch here
+	// so the faults subsystem can address whole tiers (switch-crash
+	// models) and the routing control plane can report per-tier work.
+	SwitchLayers []netem.Layer
+	Links        []*netem.Link
+	Kind         string
 
-	// routers keeps each switch's router so that path counting can
-	// follow the ECMP DAG (netem.Switch deliberately hides it).
+	// routers keeps each switch's effective router so that path counting
+	// can follow the ECMP DAG (netem.Switch deliberately hides it). The
+	// routing control plane swaps wrapped routers in via WrapRouters.
 	routers map[netem.NodeID]netem.Router
 
 	// pathCount returns the number of distinct equal-cost paths between
-	// two hosts; see PathCount.
+	// two hosts on the healthy network; see PathCount.
 	pathCount func(src, dst netem.NodeID) int
+
+	// degraded, when set, reports whether any link is currently excluded
+	// from routing; while true PathCount follows the live routing DAG
+	// instead of the static oracle. The run harness wires it to the
+	// fault injector.
+	degraded func() bool
 }
 
 // setRouter installs a router on a switch and records it for path
@@ -98,11 +111,35 @@ func (n *Network) setRouter(sw *netem.Switch, r netem.Router) {
 // PathCount returns the number of distinct shortest paths between two
 // hosts. MMPTCP uses it to size the packet-scatter duplicate-ACK
 // threshold. It returns 1 when src == dst or when the oracle is missing.
+//
+// On a healthy network the static oracle answers (for the FatTree, the
+// paper's addressing formula — allocation-free). While the network is
+// degraded (see SetDegraded) the count instead follows the live ECMP
+// DAG through the installed routers, so dead paths no longer inflate
+// the duplicate-ACK threshold of flows dialed during a failure.
 func (n *Network) PathCount(src, dst netem.NodeID) int {
 	if src == dst || n.pathCount == nil {
 		return 1
 	}
+	if n.degraded != nil && n.degraded() {
+		return countShortestPaths(n, src, dst)
+	}
 	return n.pathCount(src, dst)
+}
+
+// SetDegraded installs the oracle telling PathCount whether any link is
+// currently excluded from routing. The run harness points it at the
+// fault injector; nil (the default) means permanently healthy.
+func (n *Network) SetDegraded(f func() bool) { n.degraded = f }
+
+// WrapRouters replaces every switch's router with wrap(switch, current),
+// in builder order, updating both the forwarding plane and the router
+// view that path counting follows. The routing control plane uses this
+// to interpose its override tables in front of the structural routers.
+func (n *Network) WrapRouters(wrap func(sw *netem.Switch, base netem.Router) netem.Router) {
+	for _, sw := range n.Switches {
+		n.setRouter(sw, wrap(sw, n.routers[sw.ID()]))
+	}
 }
 
 // Host returns the host with index i (hosts are numbered 0..len-1 and
@@ -261,6 +298,11 @@ func countShortestPaths(n *Network, src, dst netem.NodeID) int {
 	}
 	total := 0
 	for _, up := range n.Hosts[src].Uplinks() {
+		// A route-dead access link contributes no paths: the sender's
+		// own NIC link is as much a part of the live DAG as the fabric.
+		if up.RouteDead() {
+			continue
+		}
 		total += visit(up.Dst().ID())
 	}
 	return total

@@ -77,23 +77,24 @@ func NewVL2(eng *sim.Engine, cfg VL2Config) *VL2 {
 		nextID++
 	}
 	seedRNG := sim.NewRNG(cfg.Seed ^ 0x5eed_fa77_ee00_0003)
-	mkSwitch := func() *netem.Switch {
+	mkSwitch := func(tier netem.Layer) *netem.Switch {
 		sw := netem.NewSwitch(eng, nextID, seedRNG.Uint32())
 		nextID++
 		v.Switches = append(v.Switches, sw)
+		v.SwitchLayers = append(v.SwitchLayers, tier)
 		return sw
 	}
 	tors := make([]*netem.Switch, numToR)
 	for i := range tors {
-		tors[i] = mkSwitch()
+		tors[i] = mkSwitch(netem.LayerEdge)
 	}
 	aggs := make([]*netem.Switch, cfg.DA)
 	for i := range aggs {
-		aggs[i] = mkSwitch()
+		aggs[i] = mkSwitch(netem.LayerAgg)
 	}
 	ints := make([]*netem.Switch, cfg.DI)
 	for i := range ints {
-		ints[i] = mkSwitch()
+		ints[i] = mkSwitch(netem.LayerCore)
 	}
 
 	// Server links.

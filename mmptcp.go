@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/tcp"
 	"repro/internal/topology"
@@ -114,15 +115,26 @@ type Config struct {
 	Deadline sim.Time
 
 	// Faults schedules network dynamics — link failures, repairs,
-	// capacity/delay degradation and random loss — applied while the run
-	// executes, plus the routing reconvergence delay that opens a
-	// blackhole window after each state change. The zero value leaves
-	// the network permanently healthy. Fault randomness (model sampling,
-	// loss draws) comes from an RNG stream derived from Seed that is
-	// disjoint from the workload's, so adding faults never perturbs the
-	// traffic pattern, and RunSweep carries the section unchanged. See
-	// FaultsConfig and FailCables.
+	// switch crashes, capacity/delay degradation and random loss —
+	// applied while the run executes, plus the routing reconvergence
+	// delay that opens a blackhole window after each state change. The
+	// zero value leaves the network permanently healthy. Fault
+	// randomness (model sampling, loss draws) comes from an RNG stream
+	// derived from Seed that is disjoint from the workload's, so adding
+	// faults never perturbs the traffic pattern, and RunSweep carries
+	// the section unchanged. See FaultsConfig and FailCables.
 	Faults FaultsConfig
+
+	// Routing selects the repair model under failures. RoutingLocal (the
+	// default) is link-local reconvergence: each switch stops using its
+	// own dead links but upstream ECMP stays oblivious, so traffic keeps
+	// hashing onto next hops with no way forward (NoRouteDrops).
+	// RoutingGlobal installs the control plane that recomputes global
+	// reachability after each reconvergence-delayed link state change
+	// and steers ECMP around unreachable next hops. Irrelevant on a
+	// healthy network: the control plane is only installed when Faults
+	// is active, so the healthy hot path is identical in both modes.
+	Routing RoutingMode
 
 	// Control.
 	Seed       uint64
@@ -208,6 +220,11 @@ func (c *Config) applyDefaults() error {
 	default:
 		return fmt.Errorf("mmptcp: unknown protocol %q", c.Protocol)
 	}
+	mode, err := routing.ParseMode(string(c.Routing))
+	if err != nil {
+		return fmt.Errorf("mmptcp: %w", err)
+	}
+	c.Routing = mode
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/netem"
+	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -48,6 +49,8 @@ type Results struct {
 	Blackholed int64
 	// NoRouteDrops counts packets discarded at switches because every
 	// candidate output link had been excluded by failure reconvergence.
+	// Under global routing, upstream rerouting should shrink this
+	// relative to the local baseline.
 	NoRouteDrops int64
 	// HopDrops counts packets discarded by the switches' hop-count
 	// routing-loop backstop.
@@ -55,6 +58,15 @@ type Results struct {
 	// FaultEvents is the number of scheduled network mutations in the
 	// run's resolved fault plan (explicit events plus model samples).
 	FaultEvents int
+	// SwitchCrashes counts switch crash events applied (a switch crashed
+	// twice counts twice), and CrashDrops the packets that reached a
+	// crashed switch's forwarding plane.
+	SwitchCrashes int64
+	CrashDrops    int64
+
+	// Routing reports the repair mode and, in global mode, the control
+	// plane's recompute work.
+	Routing metrics.RoutingStats
 
 	// PhaseSwitches counts MMPTCP connections that entered phase two.
 	PhaseSwitches int
@@ -102,11 +114,26 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	// not rootRNG — so a faulted run and its healthy twin share an
 	// identical workload, and the comparison isolates the failures.
 	var faultPlan *faults.Injector
+	var controlPlane *routing.ControlPlane
 	if cfg.Faults.Active() {
-		faultPlan, err = faults.Install(eng, net.Links, cfg.Faults,
-			sim.NewRNGStream(cfg.Seed, faultsRNGStream), cfg.MaxSimTime)
+		faultPlan, err = faults.Install(eng, faults.Target{
+			Links:        net.Links,
+			Switches:     net.Switches,
+			SwitchLayers: net.SwitchLayers,
+		}, cfg.Faults, sim.NewRNGStream(cfg.Seed, faultsRNGStream), cfg.MaxSimTime)
 		if err != nil {
 			return nil, err
+		}
+		// Failure-aware path counting: while any link is excluded from
+		// routing, MMPTCP's duplicate-ACK threshold derives from the
+		// live ECMP DAG instead of the static topology formula.
+		net.SetDegraded(faultPlan.Degraded)
+		if cfg.Routing == RoutingGlobal {
+			// Global repair: wrap every router with the control plane's
+			// override tables and rebuild them (coalesced) on each
+			// reconvergence-delayed link state change.
+			controlPlane = routing.Install(eng, net)
+			faultPlan.OnRouteChange = controlPlane.Invalidate
 		}
 	}
 
@@ -259,9 +286,18 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	for _, sw := range net.Switches {
 		res.NoRouteDrops += sw.NoRoute
 		res.HopDrops += sw.Dropped
+		res.SwitchCrashes += sw.Crashes
+		res.CrashDrops += sw.CrashDrops
 	}
 	if faultPlan != nil {
 		res.FaultEvents = len(faultPlan.Events)
+	}
+	res.Routing.Mode = string(cfg.Routing)
+	if controlPlane != nil {
+		st := controlPlane.Stats()
+		res.Routing.Recomputes = st.Recomputes
+		res.Routing.LastConvergence = st.LastConvergence
+		res.Routing.Overrides = st.Overrides
 	}
 	return res, nil
 }
