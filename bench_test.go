@@ -249,12 +249,36 @@ func BenchmarkXCoexistence(b *testing.B) {
 // the headline workload, for performance regressions.
 func BenchmarkEngineThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		cfg := benchConfig(ProtoMMPTCP, 100)
-		res, err := Run(cfg)
+		res, err := Run(EngineBenchConfig(false))
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(res.Events), "events")
+	}
+}
+
+// BenchmarkXChurnRecompute exercises reconvergence at paper scale:
+// 512 hosts, K=8, hundreds of sampled link transitions, local vs global
+// repair. The global variant reports the incremental control plane's
+// work counters — before incremental recompute, every one of those
+// recomputes rebuilt all 512 destinations (dst-skipped would read 0 and
+// bfs-runs would be recomputes x live signatures).
+func BenchmarkXChurnRecompute(b *testing.B) {
+	for _, mode := range []RoutingMode{RoutingLocal, RoutingGlobal} {
+		b.Run(string(mode), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Run(ChurnBenchConfig(mode, false))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.FaultEvents), "fault-events")
+				b.ReportMetric(float64(res.Routing.Recomputes), "recomputes")
+				b.ReportMetric(float64(res.Routing.DstRecomputed), "dst-recomputed")
+				b.ReportMetric(float64(res.Routing.DstSkipped), "dst-skipped")
+				b.ReportMetric(float64(res.Routing.BFSRuns), "bfs-runs")
+				b.ReportMetric(float64(res.NoRouteDrops), "noroute")
+			}
+		})
 	}
 }
 

@@ -1,0 +1,211 @@
+// Command bench runs the repository's tracked performance suite and
+// writes BENCH.json, the machine-readable perf trajectory (ns/op,
+// allocs/op, events/sec, routing recompute counters). CI runs it with
+// -quick on every push and archives the artifact; full-scale numbers are
+// regenerated with the defaults when perf-relevant code changes. The
+// format is documented in the README's Performance section.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	mmptcp "repro"
+	"repro/internal/netem"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Result is one benchmark's measurements as serialised into BENCH.json.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the BENCH.json envelope.
+type File struct {
+	Schema    int      `json:"schema"`
+	Generated string   `json:"generated"`
+	Go        string   `json:"go"`
+	Quick     bool     `json:"quick"`
+	Results   []Result `json:"benchmarks"`
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced scale for CI smoke runs (64-host churn topology, fewer flows)")
+	out := flag.String("out", "BENCH.json", "output path for the JSON report")
+	flag.Parse()
+
+	var results []Result
+	add := func(name string, br testing.BenchmarkResult, metrics map[string]float64) {
+		r := Result{
+			Name:        name,
+			Iterations:  br.N,
+			NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+			Metrics:     metrics,
+		}
+		results = append(results, r)
+		fmt.Printf("%-28s %12.0f ns/op %12d allocs/op %12d B/op", r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+		keys := make([]string, 0, len(metrics))
+		for k := range metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %s=%.4g", k, metrics[k])
+		}
+		fmt.Println()
+	}
+
+	engineThroughput(*quick, add)
+	churnRecompute(*quick, add)
+	microBenches(add)
+
+	f := File{
+		Schema:    1,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Go:        runtime.Version(),
+		Quick:     *quick,
+		Results:   results,
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(results))
+}
+
+type addFunc func(name string, br testing.BenchmarkResult, metrics map[string]float64)
+
+// engineThroughput is BenchmarkEngineThroughput's workload (shared via
+// mmptcp.EngineBenchConfig), reported with events/sec so simulator
+// speed is tracked independently of workload size.
+func engineThroughput(quick bool, add addFunc) {
+	var events uint64
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := mmptcp.Run(mmptcp.EngineBenchConfig(quick))
+			if err != nil {
+				b.Fatal(err)
+			}
+			events = res.Events
+		}
+	})
+	nsPerOp := float64(br.T.Nanoseconds()) / float64(br.N)
+	add("engine-throughput", br, map[string]float64{
+		"events":         float64(events),
+		"events_per_sec": float64(events) / (nsPerOp / 1e9),
+	})
+}
+
+// churnRecompute measures the fault-heavy hot path three ways: local
+// repair (no control plane), incremental global repair, and global
+// repair with ForceFullRecompute — the pre-incremental behaviour — so
+// the BFS and reconciliation savings are printed as a directly measured
+// ratio rather than an estimate. The scenario itself is
+// mmptcp.ChurnBenchConfig, shared with BenchmarkXChurnRecompute so the
+// tracked JSON and the in-repo benchmark measure the same workload.
+func churnRecompute(quick bool, add addFunc) {
+	variants := []struct {
+		name string
+		mode mmptcp.RoutingMode
+		full bool
+	}{
+		{"churn-recompute/local", mmptcp.RoutingLocal, false},
+		{"churn-recompute/global", mmptcp.RoutingGlobal, false},
+		{"churn-recompute/global-full", mmptcp.RoutingGlobal, true},
+	}
+	stats := make(map[string]mmptcp.RoutingStats)
+	for _, v := range variants {
+		var last *mmptcp.Results
+		routing.ForceFullRecompute = v.full
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := mmptcp.Run(mmptcp.ChurnBenchConfig(v.mode, quick))
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+		})
+		routing.ForceFullRecompute = false
+		stats[v.name] = last.Routing
+		m := map[string]float64{
+			"fault_events":   float64(last.FaultEvents),
+			"recomputes":     float64(last.Routing.Recomputes),
+			"dst_recomputed": float64(last.Routing.DstRecomputed),
+			"dst_skipped":    float64(last.Routing.DstSkipped),
+			"bfs_runs":       float64(last.Routing.BFSRuns),
+			"noroute":        float64(last.NoRouteDrops),
+		}
+		if v.name == "churn-recompute/global-full" {
+			inc := stats["churn-recompute/global"]
+			if inc.BFSRuns > 0 {
+				m["bfs_ratio_vs_incremental"] = float64(last.Routing.BFSRuns) / float64(inc.BFSRuns)
+			}
+			if inc.DstRecomputed > 0 {
+				m["dst_ratio_vs_incremental"] = float64(last.Routing.DstRecomputed) / float64(inc.DstRecomputed)
+			}
+		}
+		add(v.name, br, m)
+	}
+}
+
+// microBenches are the two allocation-free hot paths the regression
+// tests assert, measured so their cost is tracked too: one full packet
+// journey across the FatTree, and one retransmit-timer re-arm.
+func microBenches(add addFunc) {
+	{
+		eng := sim.NewEngine()
+		ft := topology.NewFatTree(eng, topology.FatTreeConfig{K: 4, Link: topology.DefaultLinkConfig()})
+		src, dst := ft.Hosts[0], ft.Hosts[len(ft.Hosts)-1]
+		var sport uint16 = 1024
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := src.NewPacket()
+				p.Src, p.Dst = src.ID(), dst.ID()
+				p.SrcPort, p.DstPort = sport, 80
+				p.Size, p.PayloadLen = 1500, 1460
+				p.FlowID = 1
+				p.Flags = netem.FlagData
+				sport++
+				src.Send(p)
+				eng.Run()
+			}
+		})
+		add("forward-journey", br, nil)
+	}
+	{
+		eng := sim.NewEngine()
+		tm := sim.NewTimer(eng, func() {})
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tm.Reset(sim.Millisecond)
+			}
+		})
+		add("timer-rearm", br, nil)
+	}
+}

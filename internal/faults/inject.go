@@ -32,11 +32,12 @@ type Injector struct {
 
 	// OnRouteChange, when set, fires after every routing-visible link
 	// transition (a link becoming route-dead or route-live, i.e. after
-	// the reconvergence delay). The global routing control plane hooks
-	// this to trigger a coalesced table recompute; the default local
-	// behaviour needs no notification because routers filter route-dead
-	// links on every lookup.
-	OnRouteChange func()
+	// the reconvergence delay), with the transitioned link — its new
+	// state already applied. The global routing control plane hooks
+	// this to trigger a coalesced, transition-scoped table recompute;
+	// the default local behaviour needs no notification because routers
+	// filter route-dead links on every lookup.
+	OnRouteChange func(*netem.Link)
 
 	// Overlap counters. A link can be failed by several sources at once
 	// (an explicit schedule plus a sampled model); outages must union,
@@ -109,7 +110,7 @@ func (inj *Injector) deadenRoute(l *netem.Link) {
 		l.SetRouteDead(true)
 		inj.routeDeadLinks++
 		if inj.OnRouteChange != nil {
-			inj.OnRouteChange()
+			inj.OnRouteChange(l)
 		}
 	}
 }
@@ -123,7 +124,7 @@ func (inj *Injector) reviveRoute(l *netem.Link) {
 		l.SetRouteDead(false)
 		inj.routeDeadLinks--
 		if inj.OnRouteChange != nil {
-			inj.OnRouteChange()
+			inj.OnRouteChange(l)
 		}
 	}
 }

@@ -192,11 +192,23 @@ func (s Summary) String() string {
 // were rebuilt, when routing last converged, and how many (switch,
 // destination) entries diverged from the structural fast path at run
 // end. A local-mode (or healthy) run reports zero recomputes.
+//
+// The incremental-recompute counters make the control plane's scoping
+// observable: DstRecomputed destinations had their tables reconciled,
+// DstSkipped were proven untouched by the transition batch and skipped,
+// and BFSRuns reverse breadth-first passes were actually executed
+// (destinations sharing a live-attachment signature share one, and
+// cached passes survive across recomputes). A full (non-incremental)
+// rebuild would show DstSkipped == 0 and DstRecomputed == recomputes x
+// hosts.
 type RoutingStats struct {
 	Mode            string
 	Recomputes      int
 	LastConvergence sim.Time
 	Overrides       int
+	DstRecomputed   int
+	DstSkipped      int
+	BFSRuns         int
 }
 
 // LayerStats aggregates link counters at one topology layer.

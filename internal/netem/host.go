@@ -28,6 +28,11 @@ type Host struct {
 	uplinks   []*Link
 	endpoints map[endpointKey]Endpoint
 
+	// pool recycles packets: transports allocate from it via NewPacket,
+	// and Receive returns every delivered packet to it once the endpoint
+	// has consumed it. Nil disables recycling.
+	pool *PacketPool
+
 	// Stats
 	RxPackets int64
 	RxBytes   int64
@@ -50,6 +55,16 @@ func (h *Host) ID() NodeID { return h.id }
 
 // Engine returns the simulation engine the host runs on.
 func (h *Host) Engine() *sim.Engine { return h.eng }
+
+// SetPool installs the packet free list shared by the host's network;
+// nil (the default) disables recycling.
+func (h *Host) SetPool(pp *PacketPool) { h.pool = pp }
+
+// NewPacket returns a zeroed packet for transmission, recycled from the
+// network's pool when one is available. Transport endpoints allocate
+// every outgoing packet through the host so delivery terminals can hand
+// the memory back.
+func (h *Host) NewPacket() *Packet { return h.pool.Get() }
 
 // AttachUplink adds an access link whose source is this host. The first
 // attached uplink is the default interface.
@@ -95,21 +110,26 @@ func (h *Host) SendOn(p *Packet, iface int) {
 }
 
 // Receive implements Node: it demultiplexes the packet to the endpoint
-// registered under its (FlowID, Subflow) pair. Packets for unknown
-// endpoints are counted and discarded, which is what happens to segments
-// that arrive after a connection has been torn down.
+// registered under its (FlowID, Subflow) pair, then recycles it — host
+// delivery is a packet's terminal point, so endpoints must copy out any
+// fields they keep beyond HandlePacket. Packets for unknown endpoints
+// are counted and discarded, which is what happens to segments that
+// arrive after a connection has been torn down.
 func (h *Host) Receive(p *Packet, from *Link) {
 	h.RxPackets++
 	h.RxBytes += int64(p.Size)
 	if ep, ok := h.endpoints[endpointKey{p.FlowID, p.Subflow}]; ok {
 		ep.HandlePacket(p)
+		h.pool.Put(p)
 		return
 	}
 	// Fall back to the connection-level endpoint (subflow -1), used by
 	// receivers that accept every subflow of a connection.
 	if ep, ok := h.endpoints[endpointKey{p.FlowID, -1}]; ok {
 		ep.HandlePacket(p)
+		h.pool.Put(p)
 		return
 	}
 	h.Unclaimed++
+	h.pool.Put(p)
 }

@@ -127,6 +127,17 @@ type Link struct {
 	layer Layer
 	name  string
 
+	// pool recycles packets that terminate on this link (queue drops,
+	// random loss, blackholes); nil disables recycling.
+	pool *PacketPool
+
+	// txDoneFn and deliverFn are the long-lived engine callbacks for the
+	// two per-packet events of a transmission, created once so the hot
+	// path schedules with ScheduleArg instead of allocating a closure
+	// per packet.
+	txDoneFn  func(any)
+	deliverFn func(any)
+
 	Stats LinkStats
 }
 
@@ -139,7 +150,7 @@ func NewLink(eng *sim.Engine, src, dst Node, rate int64, prop sim.Time, limit in
 	if limit < 1 {
 		panic("netem: queue limit must be at least 1")
 	}
-	return &Link{
+	l := &Link{
 		eng:      eng,
 		src:      src,
 		dst:      dst,
@@ -152,7 +163,15 @@ func NewLink(eng *sim.Engine, src, dst Node, rate int64, prop sim.Time, limit in
 		layer:    layer,
 		name:     fmt.Sprintf("%d->%d", src.ID(), dst.ID()),
 	}
+	l.txDoneFn = func(a any) { l.txDone(a.(*Packet)) }
+	l.deliverFn = func(a any) { l.deliver(a.(*Packet)) }
+	return l
 }
+
+// SetPool installs the packet free list the link recycles dropped and
+// blackholed packets into. Topology builders wire every link of a
+// network to one shared pool; nil (the default) disables recycling.
+func (l *Link) SetPool(pp *PacketPool) { l.pool = pp }
 
 // Src returns the sending node.
 func (l *Link) Src() Node { return l.src }
@@ -264,10 +283,12 @@ func (l *Link) SetLossRate(p float64, rng *sim.RNG) {
 	l.lossRNG = rng
 }
 
-// blackhole accounts one packet swallowed by the down link.
+// blackhole accounts one packet swallowed by the down link and recycles
+// it: a blackholed packet has reached its terminal point.
 func (l *Link) blackhole(p *Packet) {
 	l.Stats.Blackholed++
 	l.Stats.BlackholedBytes += int64(p.Size)
+	l.pool.Put(p)
 }
 
 // String identifies the link for diagnostics.
@@ -286,6 +307,7 @@ func (l *Link) Enqueue(p *Packet) {
 	if l.lossRate > 0 && l.lossRNG.Float64() < l.lossRate {
 		l.Stats.RandomDrops++
 		l.Stats.RandomDropBytes += int64(p.Size)
+		l.pool.Put(p)
 		return
 	}
 	if !l.busy {
@@ -296,6 +318,7 @@ func (l *Link) Enqueue(p *Packet) {
 	if l.count >= l.limit {
 		l.Stats.Drops++
 		l.Stats.DropBytes += int64(p.Size)
+		l.pool.Put(p)
 		return
 	}
 	if l.ECNThreshold > 0 && l.count >= l.ECNThreshold {
@@ -324,7 +347,7 @@ func (l *Link) transmit(p *Packet) {
 	l.busy = true
 	tx := sim.TransmissionTime(p.Size, l.rate)
 	l.Stats.BusyTime += tx
-	l.eng.Schedule(tx, func() { l.txDone(p) })
+	l.eng.ScheduleArg(tx, l.txDoneFn, p)
 }
 
 // txDone fires when the last bit of p has been serialised: the packet
@@ -339,16 +362,7 @@ func (l *Link) txDone(p *Packet) {
 	}
 	l.Stats.TxPackets++
 	l.Stats.TxBytes += int64(p.Size)
-	l.eng.Schedule(l.prop, func() {
-		if l.down {
-			// The link failed mid-propagation: the packet is lost with
-			// everything else in flight.
-			l.blackhole(p)
-			return
-		}
-		p.Hops++
-		l.dst.Receive(p, l)
-	})
+	l.eng.ScheduleArg(l.prop, l.deliverFn, p)
 	if l.count > 0 {
 		l.accountQueue()
 		next := l.queue[l.head]
@@ -359,6 +373,18 @@ func (l *Link) txDone(p *Packet) {
 		return
 	}
 	l.busy = false
+}
+
+// deliver fires when p finishes propagating: it arrives at the
+// destination node, unless the link failed mid-propagation, in which
+// case the packet is lost with everything else in flight.
+func (l *Link) deliver(p *Packet) {
+	if l.down {
+		l.blackhole(p)
+		return
+	}
+	p.Hops++
+	l.dst.Receive(p, l)
 }
 
 // LossRate returns the fraction of enqueued packets that were dropped.

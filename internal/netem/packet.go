@@ -20,6 +20,10 @@ import (
 // NodeID identifies a node (host or switch) in the simulated network.
 type NodeID int32
 
+// MaxSackBlocks is the number of SACK ranges a packet can carry (the
+// RFC 2018 practical limit with timestamps in play).
+const MaxSackBlocks = 3
+
 // Flag bits carried by a Packet.
 const (
 	FlagData uint8 = 1 << iota // carries payload bytes
@@ -71,10 +75,15 @@ type Packet struct {
 	// spurious, used by adaptive duplicate-ACK thresholds.
 	EchoDup bool
 
-	// Sack carries up to three received-but-not-cumulative byte ranges
-	// (RFC 2018 SACK blocks), attached by receivers whenever the
-	// reorder buffer has holes. Senders without SACK enabled ignore it.
-	Sack [][2]int64
+	// Sack carries up to MaxSackBlocks received-but-not-cumulative byte
+	// ranges (RFC 2018 SACK blocks), attached by receivers whenever the
+	// reorder buffer has holes; SackN is how many entries are valid.
+	// Senders without SACK enabled ignore both. A fixed array rather
+	// than a slice keeps ACK generation allocation-free — the bound
+	// matches the three blocks that fit a real SACK option alongside
+	// timestamps.
+	Sack  [MaxSackBlocks][2]int64
+	SackN uint8
 
 	// Retx marks retransmitted data segments (used by stats only; RTT
 	// sampling uses timestamps and is immune to retransmission
@@ -120,28 +129,26 @@ func (p *Packet) String() string {
 // the same value at the same switch, which is exactly the property that
 // per-packet source-port randomisation exploits to scatter packets.
 func (p *Packet) FlowHash(seed uint32) uint32 {
-	// FNV-1a over the 5-tuple bytes, seeded.
+	// FNV-1a over the 5-tuple bytes, seeded and fully unrolled: this runs
+	// once per packet per switch hop, and a per-call mixing closure would
+	// both allocate nothing yet keep the whole function from inlining.
 	const (
 		offset32 = 2166136261
 		prime32  = 16777619
 	)
 	h := uint32(offset32) ^ seed
-	mix := func(b byte) {
-		h ^= uint32(b)
-		h *= prime32
-	}
-	mix(byte(p.Src))
-	mix(byte(p.Src >> 8))
-	mix(byte(p.Src >> 16))
-	mix(byte(p.Src >> 24))
-	mix(byte(p.Dst))
-	mix(byte(p.Dst >> 8))
-	mix(byte(p.Dst >> 16))
-	mix(byte(p.Dst >> 24))
-	mix(byte(p.SrcPort))
-	mix(byte(p.SrcPort >> 8))
-	mix(byte(p.DstPort))
-	mix(byte(p.DstPort >> 8))
+	h = (h ^ uint32(byte(p.Src))) * prime32
+	h = (h ^ uint32(byte(p.Src>>8))) * prime32
+	h = (h ^ uint32(byte(p.Src>>16))) * prime32
+	h = (h ^ uint32(byte(p.Src>>24))) * prime32
+	h = (h ^ uint32(byte(p.Dst))) * prime32
+	h = (h ^ uint32(byte(p.Dst>>8))) * prime32
+	h = (h ^ uint32(byte(p.Dst>>16))) * prime32
+	h = (h ^ uint32(byte(p.Dst>>24))) * prime32
+	h = (h ^ uint32(byte(p.SrcPort))) * prime32
+	h = (h ^ uint32(byte(p.SrcPort>>8))) * prime32
+	h = (h ^ uint32(byte(p.DstPort))) * prime32
+	h = (h ^ uint32(byte(p.DstPort>>8))) * prime32
 	// FNV's low bits are linear in the input bits, which would make the
 	// modulo-N choices of consecutive switches perfectly correlated.
 	// A murmur3-style avalanche finaliser decorrelates them.

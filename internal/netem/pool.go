@@ -1,0 +1,53 @@
+package netem
+
+// PacketPool is a free list of Packets shared by one simulated network.
+// Packets are allocated per transmission on the hot path of every
+// transport, and without recycling they dominate a run's allocation
+// profile; the pool hands each terminal endpoint's packets (host
+// delivery, switch and queue drops, blackholes) back to the producers.
+//
+// The pool is single-threaded, like everything else built on sim.Engine:
+// one pool per network, one network per engine, one engine per goroutine.
+// A nil *PacketPool is valid and disables recycling — Get falls back to
+// the garbage collector and Put is a no-op — so hand-built test networks
+// need no wiring.
+type PacketPool struct {
+	free []*Packet
+
+	// Gets and Recycled count allocations served and packets returned,
+	// for benchmarks asserting the recycle rate.
+	Gets     int64
+	Recycled int64
+}
+
+// NewPacketPool returns an empty pool.
+func NewPacketPool() *PacketPool { return &PacketPool{} }
+
+// Get returns a zeroed packet, reusing a recycled one when available.
+func (pp *PacketPool) Get() *Packet {
+	if pp == nil {
+		return &Packet{}
+	}
+	pp.Gets++
+	n := len(pp.free)
+	if n == 0 {
+		return &Packet{}
+	}
+	p := pp.free[n-1]
+	pp.free[n-1] = nil
+	pp.free = pp.free[:n-1]
+	*p = Packet{}
+	return p
+}
+
+// Put recycles a packet that has reached its terminal point. The caller
+// must be the packet's sole owner: a packet handed to Put must not be
+// referenced again (endpoints that need to keep packet data copy the
+// fields out during HandlePacket).
+func (pp *PacketPool) Put(p *Packet) {
+	if pp == nil || p == nil {
+		return
+	}
+	pp.Recycled++
+	pp.free = append(pp.free, p)
+}

@@ -62,6 +62,10 @@ type Switch struct {
 	down      bool
 	downSince sim.Time
 
+	// pool recycles packets the switch drops (no route, hop backstop,
+	// crashed forwarding plane); nil disables recycling.
+	pool *PacketPool
+
 	// Stats
 	Forwarded int64
 	Dropped   int64 // packets discarded due to the hop-count backstop
@@ -97,6 +101,10 @@ func (s *Switch) SetRouter(r Router) { s.router = r }
 
 // Router returns the currently installed routing function.
 func (s *Switch) Router() Router { return s.router }
+
+// SetPool installs the packet free list the switch recycles dropped
+// packets into; nil (the default) disables recycling.
+func (s *Switch) SetPool(pp *PacketPool) { s.pool = pp }
 
 // Down reports whether the switch is crashed.
 func (s *Switch) Down() bool { return s.down }
@@ -137,16 +145,19 @@ func (s *Switch) TimeDown(now sim.Time) sim.Time {
 func (s *Switch) Receive(p *Packet, from *Link) {
 	if s.down {
 		s.CrashDrops++
+		s.pool.Put(p)
 		return
 	}
 	if p.Hops > maxHops {
 		s.Dropped++
+		s.pool.Put(p)
 		return
 	}
 	links := s.router.NextLinks(p.Dst)
 	n := len(links)
 	if n == 0 {
 		s.NoRoute++
+		s.pool.Put(p)
 		return
 	}
 	var out *Link

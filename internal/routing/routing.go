@@ -10,6 +10,19 @@
 // overrides exactly the (switch, destination) entries whose equal-cost
 // sets diverge from the structural fast path.
 //
+// The recompute is incremental. Hop-distance maps are cached per
+// live-attachment signature (all hosts sharing the same set of live
+// access switches share one reverse BFS) and stay valid across
+// recomputes; a link transition invalidates only the signatures whose
+// shortest-path DAG the flipped link can belong to, judged against the
+// cached distances (see entryDirty). Destinations whose distances and
+// whose switches' equal-cost sets are provably untouched are skipped
+// entirely — no BFS, no table reconciliation — which is what makes
+// high-churn studies on paper-scale (512-host) topologies cheap. BFS
+// scratch (frontier slices, distance maps) is recycled across passes, so
+// steady-state reconvergence does not allocate proportionally to the
+// network.
+//
 // The healthy network never pays for the indirection beyond a nil check:
 // overrides exist only for destinations whose reachability actually
 // changed, every other lookup falls through to the structural router
@@ -19,16 +32,27 @@
 // trigger exactly one table rebuild, scheduled at the same virtual time
 // — and everything is deterministic: the pass iterates hosts and
 // switches in builder order, so identical fault schedules yield
-// byte-identical routing at any sweep worker count.
+// byte-identical routing at any sweep worker count. Incrementality is
+// behaviour-neutral by construction (skipped destinations have provably
+// unchanged tables); TestIncrementalMatchesFullRecompute asserts this
+// against ForceFullRecompute.
 package routing
 
 import (
+	"bytes"
 	"fmt"
 
 	"repro/internal/netem"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
+
+// ForceFullRecompute, when set, disables the incremental invalidation
+// logic: every recompute discards the distance cache and rebuilds every
+// destination, exactly like the pre-incremental control plane. It exists
+// for the equivalence tests and for benchmarking the incremental win;
+// runs must not toggle it concurrently (it is read at recompute time).
+var ForceFullRecompute bool
 
 // Mode selects the repair model for a run.
 type Mode string
@@ -61,9 +85,23 @@ type Stats struct {
 	Recomputes int
 	// LastConvergence is the virtual time of the most recent rebuild.
 	LastConvergence sim.Time
-	// Overrides is the number of (switch, destination) entries diverging
-	// from the structural routers after the last rebuild.
+	// Overrides is the number of (switch, destination) entries whose
+	// equal-cost sets diverge from the structural routers' live-filtered
+	// answers after the last rebuild (entries installed only to pin the
+	// static baseline are not counted).
 	Overrides int
+
+	// DstRecomputed counts destinations whose tables were reconciled
+	// across all recomputes, and DstSkipped those proven untouched by
+	// the transition batch and skipped outright. Before incremental
+	// recompute every rebuild reconciled every destination, i.e.
+	// DstSkipped was identically zero.
+	DstRecomputed int
+	DstSkipped    int
+	// BFSRuns counts reverse breadth-first passes actually executed;
+	// destinations sharing a live-attachment signature share one, and
+	// cached passes from earlier recomputes are reused outright.
+	BFSRuns int
 }
 
 // table is the per-switch router the control plane installs: overrides
@@ -84,6 +122,21 @@ func (t *table) NextLinks(dst netem.NodeID) []*netem.Link {
 	return t.base.NextLinks(dst)
 }
 
+// flip records one routing-visible link transition for the invalidation
+// pass: the link's endpoints and the direction of the change.
+type flip struct {
+	u, v netem.NodeID // src and dst switch of the flipped link
+	dead bool         // true: became route-dead; false: became route-live
+}
+
+// distEntry is one cached reverse-BFS result: hop distances from every
+// reachable switch to the destinations sharing one live-attachment
+// signature. epoch records the recompute that (re)built it.
+type distEntry struct {
+	dist  map[netem.NodeID]int32
+	epoch uint64
+}
+
 // ControlPlane owns the wrapped routers of one built network and rebuilds
 // their override entries on demand. Create with Install, trigger with
 // Invalidate (typically wired to faults.Injector.OnRouteChange).
@@ -94,12 +147,53 @@ type ControlPlane struct {
 	// tables is parallel to net.Switches.
 	tables []*table
 
+	// healthy[i][j] is switch i's structural equal-cost set toward host
+	// j on the undamaged network, snapshotted at install (builders hand
+	// over healthy networks; faults only fire once the engine runs).
+	// Reconciliation compares computed sets against these static
+	// baselines — not against the live-filtered base lookup — so whether
+	// a (switch, destination) override exists depends only on the
+	// computed set, which is exactly the property that lets the
+	// incremental pass skip destinations its predicate proves untouched.
+	healthy [][][]*netem.Link
+
 	// Immutable adjacency, computed once at install.
 	out    map[netem.NodeID][]*netem.Link // outgoing links per node
 	in     map[netem.NodeID][]*netem.Link // incoming links per node
 	isHost map[netem.NodeID]bool
 
 	dirty bool
+	// pending accumulates the switch-to-switch link transitions since
+	// the last recompute; host-incident transitions never affect switch
+	// tables except through the attachment signature, which is
+	// recomputed per destination anyway.
+	pending []flip
+	// fullPending forces the next recompute to invalidate everything
+	// (set by Invalidate(nil), the escape hatch for callers that cannot
+	// name the changed link).
+	fullPending bool
+
+	// distCache maps a destination's live-attachment signature to its
+	// cached distance map; entries survive recomputes until a flip
+	// invalidates them. hostSig remembers each host's signature as of
+	// its last reconciliation, so a host whose attachment changed is
+	// reconciled even when its new signature's entry is cached.
+	distCache map[string]*distEntry
+	hostSig   [][]byte
+	epoch     uint64
+
+	// Reusable scratch: recycled distance maps, the two BFS frontier
+	// slices, the signature key buffer and the BFS source-link buffer.
+	freeMaps []map[netem.NodeID]int32
+	frontier []netem.NodeID
+	next     []netem.NodeID
+	keyBuf   []byte
+	srcBuf   []*netem.Link
+
+	// recomputeFn is the cached engine callback (avoids a method-value
+	// allocation per coalesced batch).
+	recomputeFn func()
+
 	stats Stats
 }
 
@@ -109,11 +203,13 @@ type ControlPlane struct {
 // behaviour-neutral.
 func Install(eng *sim.Engine, net *topology.Network) *ControlPlane {
 	cp := &ControlPlane{
-		eng:    eng,
-		net:    net,
-		out:    make(map[netem.NodeID][]*netem.Link),
-		in:     make(map[netem.NodeID][]*netem.Link),
-		isHost: make(map[netem.NodeID]bool, len(net.Hosts)),
+		eng:       eng,
+		net:       net,
+		out:       make(map[netem.NodeID][]*netem.Link),
+		in:        make(map[netem.NodeID][]*netem.Link),
+		isHost:    make(map[netem.NodeID]bool, len(net.Hosts)),
+		distCache: make(map[string]*distEntry),
+		hostSig:   make([][]byte, len(net.Hosts)),
 	}
 	for _, l := range net.Links {
 		cp.out[l.Src().ID()] = append(cp.out[l.Src().ID()], l)
@@ -128,6 +224,15 @@ func Install(eng *sim.Engine, net *topology.Network) *ControlPlane {
 		cp.tables = append(cp.tables, t)
 		return t
 	})
+	cp.healthy = make([][][]*netem.Link, len(cp.tables))
+	for i, t := range cp.tables {
+		cp.healthy[i] = make([][]*netem.Link, len(net.Hosts))
+		for j, h := range net.Hosts {
+			eq := t.base.NextLinks(h.ID())
+			cp.healthy[i][j] = append([]*netem.Link(nil), eq...)
+		}
+	}
+	cp.recomputeFn = cp.Recompute
 	return cp
 }
 
@@ -137,45 +242,85 @@ func (cp *ControlPlane) Stats() Stats { return cp.stats }
 // Invalidate marks the tables stale and schedules one recompute at the
 // current virtual time. Any number of Invalidate calls before that
 // recompute runs coalesce into it — a switch crash that deadens dozens
-// of ports at one instant costs a single table rebuild.
-func (cp *ControlPlane) Invalidate() {
+// of ports at one instant costs a single table rebuild. The flipped link
+// (its state already changed) scopes the recompute to the destinations
+// it can affect; a nil link conservatively invalidates everything.
+func (cp *ControlPlane) Invalidate(l *netem.Link) {
+	if l == nil {
+		cp.fullPending = true
+	} else {
+		u, v := l.Src().ID(), l.Dst().ID()
+		// Host uplinks never appear in switch tables or distance maps,
+		// and switch->host downlinks only matter through the
+		// destination's attachment signature: neither needs an
+		// invalidation record.
+		if !cp.isHost[u] && !cp.isHost[v] {
+			cp.pending = append(cp.pending, flip{u: u, v: v, dead: l.RouteDead()})
+		}
+	}
 	if cp.dirty {
 		return
 	}
 	cp.dirty = true
-	cp.eng.Schedule(0, cp.Recompute)
+	cp.eng.Schedule(0, cp.recomputeFn)
 }
 
-// Recompute rebuilds every override entry from the live link state. It
-// is normally reached through Invalidate; tests may call it directly.
+// Recompute rebuilds the override entries invalidated by the transitions
+// since the last pass. It is normally reached through Invalidate; tests
+// may call it directly (a direct call with no recorded transitions
+// re-verifies signatures but reuses every cached distance map).
 func (cp *ControlPlane) Recompute() {
 	cp.dirty = false
 	cp.stats.Recomputes++
 	cp.stats.LastConvergence = cp.eng.Now()
+	cp.epoch++
 
-	// Distances from every switch to the destination are fully
-	// determined by which of the destination's access downlinks are
-	// route-live, so hosts sharing a live attachment signature (all
-	// single-homed hosts under one edge switch, typically) share one BFS.
-	cache := make(map[string]map[netem.NodeID]int32)
-	var keyBuf []byte
-	for _, h := range cp.net.Hosts {
-		dst := h.ID()
-		keyBuf = keyBuf[:0]
-		var sources []*netem.Link
-		for _, l := range cp.in[dst] {
-			if !l.RouteDead() {
-				sources = append(sources, l)
-				id := l.Src().ID()
-				keyBuf = append(keyBuf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	if ForceFullRecompute || cp.fullPending {
+		for key, e := range cp.distCache {
+			cp.dropEntry(key, e)
+		}
+	} else if len(cp.pending) > 0 {
+		for key, e := range cp.distCache {
+			if cp.entryDirty(e) {
+				cp.dropEntry(key, e)
 			}
 		}
-		dist, ok := cache[string(keyBuf)]
-		if !ok {
-			dist = cp.bfs(sources)
-			cache[string(keyBuf)] = dist
+	}
+	cp.pending = cp.pending[:0]
+	cp.fullPending = false
+
+	for i, h := range cp.net.Hosts {
+		dst := h.ID()
+		// Live-attachment signature: the source switches of the
+		// destination's live access downlinks, in builder order. The
+		// distance map depends on nothing else.
+		cp.keyBuf = cp.keyBuf[:0]
+		cp.srcBuf = cp.srcBuf[:0]
+		for _, l := range cp.in[dst] {
+			if !l.RouteDead() {
+				cp.srcBuf = append(cp.srcBuf, l)
+				id := l.Src().ID()
+				cp.keyBuf = append(cp.keyBuf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+			}
 		}
-		cp.reconcile(dst, dist)
+		e, ok := cp.distCache[string(cp.keyBuf)]
+		if !ok {
+			e = &distEntry{dist: cp.bfs(cp.srcBuf), epoch: cp.epoch}
+			cp.distCache[string(cp.keyBuf)] = e
+			cp.stats.BFSRuns++
+		}
+		// A destination needs reconciling when its distances were
+		// rebuilt this pass, or when its attachment signature changed
+		// (same cached distances, different access links in the edge
+		// switches' equal-cost sets). Otherwise nothing about its
+		// tables can have moved and the whole destination is skipped.
+		if e.epoch == cp.epoch || !bytes.Equal(cp.keyBuf, cp.hostSig[i]) {
+			cp.reconcile(i, dst, e.dist)
+			cp.hostSig[i] = append(cp.hostSig[i][:0], cp.keyBuf...)
+			cp.stats.DstRecomputed++
+		} else {
+			cp.stats.DstSkipped++
+		}
 	}
 
 	live := 0
@@ -186,18 +331,82 @@ func (cp *ControlPlane) Recompute() {
 			t.override = nil
 			continue
 		}
-		live += len(t.override)
+		// Count only entries that diverge from the live-filtered
+		// structural answer. Reconciliation installs overrides against
+		// the static healthy baseline (so override existence is a pure
+		// function of the computed set — what makes skipping sound),
+		// which also pins entries the live filter would have answered
+		// identically; excluding those here keeps the reported metric
+		// identical to the pre-incremental control plane's.
+		for dst, eq := range t.override {
+			if !sameLinks(eq, t.base.NextLinks(dst)) {
+				live++
+			}
+		}
 	}
 	cp.stats.Overrides = live
+}
+
+// dropEntry removes a cached distance map, recycling its storage.
+func (cp *ControlPlane) dropEntry(key string, e *distEntry) {
+	delete(cp.distCache, key)
+	clear(e.dist)
+	cp.freeMaps = append(cp.freeMaps, e.dist)
+}
+
+// entryDirty reports whether any pending flip can change the entry's
+// distances or any equal-cost set derived from them. For a flipped link
+// u->v judged against cached distances D (computed before the batch):
+//
+//   - D[v] absent: the reverse BFS never reaches the link, and v is a
+//     switch (host-incident flips are filtered at Invalidate), so it is
+//     in no equal-cost set either — unless the link came alive and u was
+//     unreachable only for want of it.
+//   - Link died: it mattered exactly when it was part of the shortest-
+//     path DAG, i.e. D[u] == D[v]+1 (BFS relaxation guarantees
+//     D[u] <= D[v]+1 while the link was live, so anything else means a
+//     strictly longer detour that no table used).
+//   - Link revived: it matters when it offers u a path at least as short
+//     as the cached one (D[v]+1 <= D[u], joining or improving the DAG)
+//     or when u was unreachable (D[u] absent).
+//
+// Transitions judged clean one by one compose: removals of non-DAG edges
+// cannot lengthen any shortest path, and additions that improve no
+// distance individually cannot improve one jointly (a first improved
+// node would need an improving edge, contradicting per-edge cleanness).
+func (cp *ControlPlane) entryDirty(e *distEntry) bool {
+	for _, f := range cp.pending {
+		dv, okv := e.dist[f.v]
+		if !okv {
+			continue
+		}
+		du, oku := e.dist[f.u]
+		if f.dead {
+			if oku && du == dv+1 {
+				return true
+			}
+		} else if !oku || dv+1 <= du {
+			return true
+		}
+	}
+	return false
 }
 
 // bfs returns hop distances from every switch to a destination whose
 // live access downlinks are sources (each source's src switch is one hop
 // away). Expansion walks the reversed live graph and never tunnels
-// through hosts.
+// through hosts. The returned map and the frontier slices come from the
+// plane's recycled scratch.
 func (cp *ControlPlane) bfs(sources []*netem.Link) map[netem.NodeID]int32 {
-	dist := make(map[netem.NodeID]int32, len(cp.net.Switches))
-	var frontier []netem.NodeID
+	var dist map[netem.NodeID]int32
+	if n := len(cp.freeMaps); n > 0 {
+		dist = cp.freeMaps[n-1]
+		cp.freeMaps[n-1] = nil
+		cp.freeMaps = cp.freeMaps[:n-1]
+	} else {
+		dist = make(map[netem.NodeID]int32, len(cp.net.Switches))
+	}
+	frontier := cp.frontier[:0]
 	for _, l := range sources {
 		id := l.Src().ID()
 		if _, seen := dist[id]; !seen {
@@ -205,8 +414,9 @@ func (cp *ControlPlane) bfs(sources []*netem.Link) map[netem.NodeID]int32 {
 			frontier = append(frontier, id)
 		}
 	}
+	next := cp.next[:0]
 	for len(frontier) > 0 {
-		var next []netem.NodeID
+		next = next[:0]
 		for _, v := range frontier {
 			for _, l := range cp.in[v] {
 				if l.RouteDead() {
@@ -222,14 +432,17 @@ func (cp *ControlPlane) bfs(sources []*netem.Link) map[netem.NodeID]int32 {
 				}
 			}
 		}
-		frontier = next
+		frontier, next = next, frontier
 	}
+	cp.frontier, cp.next = frontier[:0], next[:0]
 	return dist
 }
 
 // reconcile installs or clears the override entry of every switch for
-// destination dst, given the live hop distances.
-func (cp *ControlPlane) reconcile(dst netem.NodeID, dist map[netem.NodeID]int32) {
+// destination dst (host index hostIdx), given the live hop distances. A
+// switch whose computed set matches its healthy structural baseline
+// carries no override and falls through to the structural fast path.
+func (cp *ControlPlane) reconcile(hostIdx int, dst netem.NodeID, dist map[netem.NodeID]int32) {
 	for i, sw := range cp.net.Switches {
 		t := cp.tables[i]
 		var eq []*netem.Link
@@ -250,7 +463,7 @@ func (cp *ControlPlane) reconcile(dst netem.NodeID, dist map[netem.NodeID]int32)
 				}
 			}
 		}
-		if sameLinks(eq, t.base.NextLinks(dst)) {
+		if sameLinks(eq, cp.healthy[i][hostIdx]) {
 			if t.override != nil {
 				delete(t.override, dst)
 			}

@@ -324,3 +324,149 @@ func TestDumbbellHostLinkOverride(t *testing.T) {
 		t.Fatalf("right switch still forwards toward dead host 1 (%d links)", len(eq))
 	}
 }
+
+// TestIncrementalSkipsUntouchedDestinations pins down the incremental
+// win on the cheapest possible fault: a host access cable only affects
+// its own destination, so the second such failure must recompute exactly
+// one destination and skip every other, reusing every cached BFS.
+func TestIncrementalSkipsUntouchedDestinations(t *testing.T) {
+	eng := sim.NewEngine()
+	net, cp := buildFatTree(eng)
+	hosts := len(net.Hosts) // 16 on the K=4 tree
+	install(t, eng, net, cp, faults.Config{Events: []faults.Event{
+		// Host 0's access cable (host-layer links 0 and 1) at 10ms...
+		{At: 10 * sim.Millisecond, Kind: faults.LinkDown, Layer: netem.LayerHost, Index: 0},
+		{At: 10 * sim.Millisecond, Kind: faults.LinkDown, Layer: netem.LayerHost, Index: 1},
+		// ...then host 1's (links 2 and 3) at 20ms.
+		{At: 20 * sim.Millisecond, Kind: faults.LinkDown, Layer: netem.LayerHost, Index: 2},
+		{At: 20 * sim.Millisecond, Kind: faults.LinkDown, Layer: netem.LayerHost, Index: 3},
+	}})
+	eng.RunUntil(30 * sim.Millisecond)
+	st := cp.Stats()
+	if st.Recomputes != 2 {
+		t.Fatalf("recomputes = %d, want 2", st.Recomputes)
+	}
+	// First recompute is cold (every destination reconciled); the second
+	// touches only host 1 — host flips invalidate nothing switch-side,
+	// and host 1's new empty-attachment signature is already cached from
+	// host 0's failure.
+	if want := hosts + 1; st.DstRecomputed != want {
+		t.Errorf("DstRecomputed = %d, want %d (cold pass + host 1 only)", st.DstRecomputed, want)
+	}
+	if want := hosts - 1; st.DstSkipped != want {
+		t.Errorf("DstSkipped = %d, want %d", st.DstSkipped, want)
+	}
+	// 8 edge signatures + the empty signature on the cold pass; zero new
+	// BFS work on the second.
+	if st.BFSRuns != 9 {
+		t.Errorf("BFSRuns = %d, want 9", st.BFSRuns)
+	}
+	// And the tables are still right: nobody forwards toward dead host 0.
+	for _, sw := range net.Switches {
+		if eq := sw.Router().NextLinks(net.Hosts[0].ID()); len(eq) != 0 {
+			t.Fatalf("switch %d still forwards toward dead host 0", sw.ID())
+		}
+	}
+}
+
+// snapshotTables captures every (switch, destination) equal-cost set the
+// control plane currently answers with.
+func snapshotTables(net *topology.Network) [][][]*netem.Link {
+	out := make([][][]*netem.Link, len(net.Switches))
+	for i, sw := range net.Switches {
+		out[i] = make([][]*netem.Link, len(net.Hosts))
+		for j, h := range net.Hosts {
+			eq := sw.Router().NextLinks(h.ID())
+			out[i][j] = append([]*netem.Link(nil), eq...)
+		}
+	}
+	return out
+}
+
+func tablesEqual(a, b [][][]*netem.Link) bool {
+	for i := range a {
+		for j := range a[i] {
+			if len(a[i][j]) != len(b[i][j]) {
+				return false
+			}
+			for k := range a[i][j] {
+				if a[i][j][k] != b[i][j][k] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// TestIncrementalMatchesFullRecompute is the equivalence torture test:
+// random route-dead flips (kills and revivals, switch fabric and host
+// access links alike) drive the incremental control plane, and after
+// every coalesced batch the resulting tables must match a forced full
+// rebuild bit for bit. This is the invariant that makes incremental
+// recompute safe to ship without an opt-out.
+func TestIncrementalMatchesFullRecompute(t *testing.T) {
+	builders := map[string]func(eng *sim.Engine) *topology.Network{
+		"fattree": func(eng *sim.Engine) *topology.Network {
+			ft := topology.NewFatTree(eng, topology.FatTreeConfig{K: 4, Link: topology.DefaultLinkConfig()})
+			return &ft.Network
+		},
+		"vl2": func(eng *sim.Engine) *topology.Network {
+			v := topology.NewVL2(eng, topology.VL2Config{DA: 4, DI: 2, HostsPerToR: 2, Link: topology.DefaultLinkConfig()})
+			return &v.Network
+		},
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			eng := sim.NewEngine()
+			net := build(eng)
+			cp := Install(eng, net)
+			rng := sim.NewRNG(7)
+			dead := make(map[*netem.Link]bool)
+			for round := 0; round < 60; round++ {
+				// Flip a random batch of links (1-4), biased toward
+				// killing on even rounds and reviving on odd ones so the
+				// network wanders through partial-failure states.
+				batch := 1 + rng.Intn(4)
+				for i := 0; i < batch; i++ {
+					l := net.Links[rng.Intn(len(net.Links))]
+					next := !dead[l]
+					dead[l] = next
+					l.SetRouteDead(next)
+					cp.Invalidate(l)
+				}
+				// Fire the coalesced recompute.
+				eng.Run()
+				got := snapshotTables(net)
+				// Force the pre-incremental behaviour on the same plane:
+				// drop every cached distance and rebuild everything.
+				ForceFullRecompute = true
+				cp.Recompute()
+				ForceFullRecompute = false
+				want := snapshotTables(net)
+				if !tablesEqual(got, want) {
+					t.Fatalf("round %d: incremental tables diverge from full recompute", round)
+				}
+			}
+		})
+	}
+}
+
+// TestRoutingLookupAllocationFree asserts the healthy fast path: with a
+// control plane installed and no overrides live, a forwarding lookup
+// through the wrapped router allocates nothing.
+func TestRoutingLookupAllocationFree(t *testing.T) {
+	eng := sim.NewEngine()
+	net, cp := buildFatTree(eng)
+	cp.Recompute() // healthy: installs zero overrides
+	r := net.Switches[0].Router()
+	dst := net.Hosts[len(net.Hosts)-1].ID()
+	var sink []*netem.Link
+	allocs := testing.AllocsPerRun(200, func() {
+		sink = r.NextLinks(dst)
+	})
+	if allocs != 0 {
+		t.Errorf("healthy routing lookup allocates %.1f per call, want 0", allocs)
+	}
+	_ = sink
+}

@@ -1,13 +1,24 @@
 package sim
 
-// Event is a scheduled callback. Events are created by Engine.Schedule and
-// Engine.At and may be cancelled before they fire. An Event must not be
-// reused after it has fired or been cancelled.
+// Event is a scheduled callback. Events are created by Engine.Schedule,
+// Engine.At and their arg-carrying variants, and may be cancelled before
+// they fire. An Event must not be used after it has fired or been
+// cancelled: the engine recycles fired and discarded events through an
+// internal free list, so a stale handle may alias a completely unrelated
+// future event.
 type Event struct {
-	eng       *Engine
-	at        Time
-	seq       uint64
-	fn        func()
+	eng *Engine
+	at  Time
+	seq uint64
+
+	// Exactly one of fn / fnArg is set. The arg-carrying form exists so
+	// hot paths (retransmit timers re-armed per ACK, per-packet link
+	// events) can schedule a long-lived callback plus a value instead of
+	// allocating a fresh closure per event.
+	fn    func()
+	fnArg func(any)
+	arg   any
+
 	cancelled bool
 	fired     bool
 }
@@ -20,6 +31,8 @@ func (ev *Event) Cancel() {
 	}
 	ev.cancelled = true
 	ev.fn = nil
+	ev.fnArg = nil
+	ev.arg = nil
 	if ev.eng != nil {
 		ev.eng.noteCancelled()
 	}
@@ -44,6 +57,11 @@ type Engine struct {
 	processed uint64
 	cancelled int // cancelled events still sitting in the heap
 	stopped   bool
+
+	// free recycles fired and discarded events so steady-state scheduling
+	// does not allocate. Events enter it from the run loop (after firing
+	// or lazy discard of a cancellation) and from compact.
+	free []*Event
 
 	// interrupt, when set, is polled every interruptEvery processed
 	// events by RunUntil; returning true stops the run (see
@@ -89,19 +107,72 @@ func (e *Engine) Schedule(delay Time, fn func()) *Event {
 	return e.At(e.now+delay, fn)
 }
 
+// ScheduleArg runs fn(arg) after delay. It is Schedule for hot paths: the
+// callback is typically a long-lived func value (created once per timer,
+// link or endpoint) and the per-event state rides in arg, so re-arming
+// does not allocate a closure.
+func (e *Engine) ScheduleArg(delay Time, fn func(any), arg any) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.AtArg(e.now+delay, fn, arg)
+}
+
 // At runs fn at absolute time t. Scheduling in the past panics: it is
 // always a logic error in the protocol stacks built on this engine.
 func (e *Engine) At(t Time, fn func()) *Event {
-	if t < e.now {
-		panic("sim: event scheduled in the past")
-	}
 	if fn == nil {
 		panic("sim: nil event callback")
 	}
-	e.seq++
-	ev := &Event{eng: e, at: t, seq: e.seq, fn: fn}
+	ev := e.alloc(t)
+	ev.fn = fn
 	e.push(ev)
 	return ev
+}
+
+// AtArg runs fn(arg) at absolute time t (the arg-carrying At).
+func (e *Engine) AtArg(t Time, fn func(any), arg any) *Event {
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	ev := e.alloc(t)
+	ev.fnArg = fn
+	ev.arg = arg
+	e.push(ev)
+	return ev
+}
+
+// alloc returns a blank event at time t, reusing the free list when
+// possible.
+func (e *Engine) alloc(t Time) *Event {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.cancelled = false
+		ev.fired = false
+	} else {
+		ev = &Event{}
+	}
+	ev.eng = e
+	ev.at = t
+	ev.seq = e.seq
+	return ev
+}
+
+// recycle returns a fired or discarded event to the free list. The
+// fired/cancelled flags are deliberately left set until reuse so that a
+// stale handle held in violation of the contract still reads as inert.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	ev.fnArg = nil
+	ev.arg = nil
+	e.free = append(e.free, ev)
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -126,14 +197,19 @@ func (e *Engine) RunUntil(limit Time) {
 		e.pop()
 		if ev.cancelled {
 			e.cancelled--
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
 		ev.fired = true
-		fn := ev.fn
-		ev.fn = nil
+		fn, fnArg, arg := ev.fn, ev.fnArg, ev.arg
 		e.processed++
-		fn()
+		if fnArg != nil {
+			fnArg(arg)
+		} else {
+			fn()
+		}
+		e.recycle(ev)
 		if e.interrupt != nil && e.processed%e.interruptEvery == 0 && e.interrupt() {
 			e.stopped = true
 		}
@@ -151,14 +227,19 @@ func (e *Engine) Step() bool {
 		e.pop()
 		if ev.cancelled {
 			e.cancelled--
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
 		ev.fired = true
-		fn := ev.fn
-		ev.fn = nil
+		fn, fnArg, arg := ev.fn, ev.fnArg, ev.arg
 		e.processed++
-		fn()
+		if fnArg != nil {
+			fnArg(arg)
+		} else {
+			fn()
+		}
+		e.recycle(ev)
 		return true
 	}
 	return false
@@ -176,17 +257,19 @@ func (e *Engine) noteCancelled() {
 	}
 }
 
-// compact removes every cancelled event from the heap and restores the
-// heap invariant. O(n), amortised against the >n/2 cancellations that
-// triggered it.
+// compact removes every cancelled event from the heap (returning them to
+// the free list) and restores the heap invariant. O(n), amortised against
+// the >n/2 cancellations that triggered it.
 func (e *Engine) compact() {
 	kept := e.heap[:0]
 	for _, ev := range e.heap {
 		if !ev.cancelled {
 			kept = append(kept, ev)
+		} else {
+			e.recycle(ev)
 		}
 	}
-	// Clear the tail so dropped events are collectable.
+	// Clear the tail so dropped slots hold no stale references.
 	for i := len(kept); i < len(e.heap); i++ {
 		e.heap[i] = nil
 	}
@@ -194,6 +277,32 @@ func (e *Engine) compact() {
 	e.cancelled = 0
 	for i := len(e.heap)/2 - 1; i >= 0; i-- {
 		e.siftDown(i)
+	}
+}
+
+// trimFloor is the smallest heap capacity maybeTrim bothers shrinking:
+// below this the memory is trivial and trimming would only churn.
+const trimFloor = 4 * compactFloor
+
+// maybeTrim releases excess queue memory after a burst: when the live
+// heap has shrunk below a quarter of its capacity, the backing array is
+// reallocated at half size (geometric, so repeated trims cost amortised
+// O(1) per pop). Without this a Step- or RunUntil-driven loop that once
+// held a million events pins that footprint forever — compact only
+// removes cancelled entries, it never shrinks capacity. The free list is
+// bounded alongside, since pooled events are the same retired burst.
+func (e *Engine) maybeTrim() {
+	c := cap(e.heap)
+	if c < trimFloor || len(e.heap) >= c/4 {
+		return
+	}
+	heap := make([]*Event, len(e.heap), c/2)
+	copy(heap, e.heap)
+	e.heap = heap
+	if len(e.free) > c/2 {
+		free := make([]*Event, c/2)
+		copy(free, e.free[:c/2])
+		e.free = free
 	}
 }
 
@@ -224,10 +333,10 @@ func (e *Engine) pop() {
 	e.heap[0] = e.heap[n]
 	e.heap[n] = nil
 	e.heap = e.heap[:n]
-	if n == 0 {
-		return
+	if n > 0 {
+		e.siftDown(0)
 	}
-	e.siftDown(0)
+	e.maybeTrim()
 }
 
 func (e *Engine) siftDown(i int) {

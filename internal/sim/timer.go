@@ -3,12 +3,19 @@ package sim
 // Timer is a restartable one-shot timer bound to an engine, used by the
 // transport stacks for retransmission timeouts. Unlike a bare Event it can
 // be reset and stopped repeatedly; each Reset supersedes the previous
-// schedule.
+// schedule. Re-arming is allocation-free: the expiry callback is built
+// once at construction and the engine recycles the underlying events.
 type Timer struct {
 	eng *Engine
 	ev  *Event
 	fn  func()
 }
+
+// timerFire is the shared engine callback for all timers; the timer
+// itself rides in the event's arg slot. A static function plus an arg is
+// what keeps Reset — called per ACK by the retransmit timers — from
+// allocating a fresh method-value closure each time.
+func timerFire(a any) { a.(*Timer).fire() }
 
 // NewTimer returns a stopped timer that runs fn on expiry.
 func NewTimer(eng *Engine, fn func()) *Timer {
@@ -22,13 +29,13 @@ func NewTimer(eng *Engine, fn func()) *Timer {
 // previously scheduled expiry.
 func (t *Timer) Reset(delay Time) {
 	t.Stop()
-	t.ev = t.eng.Schedule(delay, t.fire)
+	t.ev = t.eng.ScheduleArg(delay, timerFire, t)
 }
 
 // ResetAt (re)schedules the timer to fire at absolute time at.
 func (t *Timer) ResetAt(at Time) {
 	t.Stop()
-	t.ev = t.eng.At(at, t.fire)
+	t.ev = t.eng.AtArg(at, timerFire, t)
 }
 
 // Stop cancels the pending expiry, if any.

@@ -100,22 +100,24 @@ func (r *Receiver) HandlePacket(p *netem.Packet) {
 	// Cumulative ACK for this subflow, echoing the sender timestamp.
 	// A fully-duplicate segment raises the DSACK-style EchoDup signal;
 	// out-of-order holdings are advertised as SACK blocks (RFC 2018).
+	// The ACK comes from the network's packet pool and its SACK ranges
+	// are written in place, so per-packet acknowledgement allocates
+	// nothing.
 	cum := sub.buf.ContiguousFrom(0)
-	ack := &netem.Packet{
-		Src:     r.host.ID(),
-		Dst:     p.Src,
-		SrcPort: p.DstPort,
-		DstPort: p.SrcPort,
-		Size:    r.cfg.HeaderBytes,
-		FlowID:  p.FlowID,
-		Subflow: p.Subflow,
-		Flags:   netem.FlagAck,
-		AckSeq:  cum,
-		EchoTS:  p.SentTS,
-		EchoDup: newSub == 0 && p.PayloadLen > 0,
-		EchoCE:  p.CE,
-		Sack:    sub.buf.Blocks(cum, 3),
-	}
+	ack := r.host.NewPacket()
+	ack.Src = r.host.ID()
+	ack.Dst = p.Src
+	ack.SrcPort = p.DstPort
+	ack.DstPort = p.SrcPort
+	ack.Size = r.cfg.HeaderBytes
+	ack.FlowID = p.FlowID
+	ack.Subflow = p.Subflow
+	ack.Flags = netem.FlagAck
+	ack.AckSeq = cum
+	ack.EchoTS = p.SentTS
+	ack.EchoDup = newSub == 0 && p.PayloadLen > 0
+	ack.EchoCE = p.CE
+	ack.SackN = uint8(sub.buf.BlocksInto(cum, &ack.Sack))
 	r.Stats.AcksSent++
 	r.host.Send(ack)
 

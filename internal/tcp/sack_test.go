@@ -117,17 +117,17 @@ func TestSACKBlocksAdvertised(t *testing.T) {
 	if len(acks) != 3 {
 		t.Fatalf("acks = %d", len(acks))
 	}
-	if len(acks[0].Sack) != 0 {
+	if acks[0].SackN != 0 {
 		t.Error("in-order ACK carries SACK blocks")
 	}
-	if len(acks[1].Sack) != 1 || acks[1].Sack[0] != [2]int64{2800, 4200} {
-		t.Errorf("ack 1 blocks = %v, want [[2800 4200]]", acks[1].Sack)
+	if acks[1].SackN != 1 || acks[1].Sack[0] != [2]int64{2800, 4200} {
+		t.Errorf("ack 1 blocks = %v (n=%d), want [[2800 4200]]", acks[1].Sack, acks[1].SackN)
 	}
 	// Two holes after the third segment: [1400,2800) and [4200,5600).
-	if len(acks[2].Sack) != 2 ||
+	if acks[2].SackN != 2 ||
 		acks[2].Sack[0] != [2]int64{2800, 4200} ||
 		acks[2].Sack[1] != [2]int64{5600, 7000} {
-		t.Errorf("ack 2 blocks = %v", acks[2].Sack)
+		t.Errorf("ack 2 blocks = %v (n=%d)", acks[2].Sack, acks[2].SackN)
 	}
 }
 

@@ -235,8 +235,8 @@ func (s *Sender) HandlePacket(p *netem.Packet) {
 		}
 	}
 	if s.sackEnabled {
-		for _, b := range p.Sack {
-			s.sacked.Add(b[0], b[1])
+		for i := 0; i < int(p.SackN); i++ {
+			s.sacked.Add(p.Sack[i][0], p.Sack[i][1])
 		}
 	}
 	switch {
@@ -453,21 +453,20 @@ func (s *Sender) transmit(m mapping, retx bool) {
 	if s.scatter != nil {
 		sport = s.scatter()
 	}
-	p := &netem.Packet{
-		Src:        s.host.ID(),
-		Dst:        s.dst,
-		SrcPort:    sport,
-		DstPort:    s.dstPort,
-		Size:       s.cfg.HeaderBytes + m.n,
-		FlowID:     s.flowID,
-		Subflow:    s.subflow,
-		Flags:      netem.FlagData,
-		Seq:        m.subSeq,
-		PayloadLen: m.n,
-		DataSeq:    m.dataSeq,
-		SentTS:     s.eng.Now(),
-		Retx:       retx,
-	}
+	p := s.host.NewPacket()
+	p.Src = s.host.ID()
+	p.Dst = s.dst
+	p.SrcPort = sport
+	p.DstPort = s.dstPort
+	p.Size = s.cfg.HeaderBytes + m.n
+	p.FlowID = s.flowID
+	p.Subflow = s.subflow
+	p.Flags = netem.FlagData
+	p.Seq = m.subSeq
+	p.PayloadLen = m.n
+	p.DataSeq = m.dataSeq
+	p.SentTS = s.eng.Now()
+	p.Retx = retx
 	s.Stats.SegmentsSent++
 	s.Stats.BytesSent += int64(m.n)
 	if retx {

@@ -11,6 +11,8 @@
 // topology-derived duplicate-ACK threshold).
 package tcp
 
+import "repro/internal/netem"
+
 // SeqSet tracks a set of byte intervals over a sequence space, used by
 // receivers for reorder buffers (subflow level) and delivery tracking
 // (data level). Intervals are half-open [start, end) and kept sorted and
@@ -61,7 +63,21 @@ func (s *SeqSet) Add(start, end int64) int64 {
 		}
 	}
 	merged := interval{newStart, newEnd}
-	s.ivs = append(s.ivs[:lo], append([]interval{merged}, s.ivs[hi:]...)...)
+	// Splice merged over s.ivs[lo:hi] in place: receivers call Add once
+	// per data packet, so the temp-slice idiom would allocate on the
+	// hottest receive path.
+	switch {
+	case hi == lo:
+		// Pure insertion: open a slot at lo.
+		s.ivs = append(s.ivs, interval{})
+		copy(s.ivs[lo+1:], s.ivs[lo:])
+		s.ivs[lo] = merged
+	default:
+		s.ivs[lo] = merged
+		if hi > lo+1 {
+			s.ivs = append(s.ivs[:lo+1], s.ivs[hi:]...)
+		}
+	}
 	return (end - start) - existing
 }
 
@@ -130,4 +146,26 @@ func (s *SeqSet) Blocks(after int64, max int) [][2]int64 {
 		}
 	}
 	return out
+}
+
+// BlocksInto is Blocks for the per-ACK hot path: it fills dst with the
+// clipped intervals above `after` and returns how many were written,
+// allocating nothing.
+func (s *SeqSet) BlocksInto(after int64, dst *[netem.MaxSackBlocks][2]int64) int {
+	n := 0
+	for _, iv := range s.ivs {
+		if iv.end <= after {
+			continue
+		}
+		start := iv.start
+		if start < after {
+			start = after
+		}
+		dst[n] = [2]int64{start, iv.end}
+		n++
+		if n == len(dst) {
+			break
+		}
+	}
+	return n
 }

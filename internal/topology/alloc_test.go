@@ -1,0 +1,52 @@
+package topology
+
+import (
+	"testing"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// TestHealthyForwardingAllocationFree is the data-plane allocation
+// regression: on a healthy FatTree, a full packet journey — pooled
+// allocation at the source host, store-and-forward over every hop, ECMP
+// hashing at each switch, delivery and recycling at the destination —
+// must not allocate once the pools are warm. This is the property the
+// engine's event free list, the network's packet pool and the unrolled
+// FlowHash exist to provide.
+func TestHealthyForwardingAllocationFree(t *testing.T) {
+	eng := sim.NewEngine()
+	ft := NewFatTree(eng, FatTreeConfig{K: 4, Link: DefaultLinkConfig()})
+	src := ft.Hosts[0]
+	dst := ft.Hosts[len(ft.Hosts)-1] // cross-pod: the longest path
+	var sport uint16 = 1024
+	forward := func() {
+		p := src.NewPacket()
+		p.Src = src.ID()
+		p.Dst = dst.ID()
+		p.SrcPort = sport
+		p.DstPort = 80
+		p.Size = 1500
+		p.PayloadLen = 1460
+		p.FlowID = 1
+		p.Flags = netem.FlagData
+		sport++ // vary the ECMP choice across runs
+		src.Send(p)
+		eng.Run()
+	}
+	before := dst.RxPackets
+	// Warm the pools beyond AllocsPerRun's single warm-up call.
+	for i := 0; i < 32; i++ {
+		forward()
+	}
+	const runs = 200
+	if allocs := testing.AllocsPerRun(runs, forward); allocs != 0 {
+		t.Errorf("healthy forwarding allocates %.2f per packet journey, want 0", allocs)
+	}
+	if got := dst.RxPackets - before; got < 32+runs {
+		t.Fatalf("only %d packets delivered; the measured path did not run", got)
+	}
+	if ft.Pool == nil || ft.Pool.Recycled == 0 {
+		t.Error("network pool recycled nothing; delivery terminal is not returning packets")
+	}
+}

@@ -82,6 +82,11 @@ type Network struct {
 	Links        []*netem.Link
 	Kind         string
 
+	// Pool is the packet free list shared by every node and link of the
+	// network (see installPool); exposed for benchmarks that assert the
+	// recycle rate.
+	Pool *netem.PacketPool
+
 	// routers keeps each switch's effective router so that path counting
 	// can follow the ECMP DAG (netem.Switch deliberately hides it). The
 	// routing control plane swaps wrapped routers in via WrapRouters.
@@ -309,11 +314,33 @@ func countShortestPaths(n *Network, src, dst netem.NodeID) int {
 }
 
 // validate panics if the network is structurally broken; builders call it
-// before returning. It checks that every host has at least one uplink.
+// before returning. It checks that every host has at least one uplink,
+// then finishes construction by wiring the shared packet pool.
 func (n *Network) validate() {
 	for i, h := range n.Hosts {
 		if len(h.Uplinks()) == 0 {
 			panic(fmt.Sprintf("topology: host %d has no uplink", i))
 		}
+	}
+	n.installPool()
+}
+
+// installPool attaches one packet free list to every host, switch and
+// link of the built network: transports allocate outgoing packets from
+// it (via Host.NewPacket) and every terminal point — host delivery,
+// switch drops, queue drops, blackholes — recycles into it, making the
+// steady-state data path allocation-free.
+func (n *Network) installPool() {
+	if n.Pool == nil {
+		n.Pool = netem.NewPacketPool()
+	}
+	for _, h := range n.Hosts {
+		h.SetPool(n.Pool)
+	}
+	for _, sw := range n.Switches {
+		sw.SetPool(n.Pool)
+	}
+	for _, l := range n.Links {
+		l.SetPool(n.Pool)
 	}
 }

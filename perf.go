@@ -1,0 +1,50 @@
+package mmptcp
+
+// EngineBenchConfig is BenchmarkEngineThroughput's workload — the
+// headline MMPTCP experiment on the bench-scale FatTree — shared with
+// cmd/bench so the tracked "engine-throughput" row in BENCH.json always
+// measures the same scenario as the in-repo benchmark.
+func EngineBenchConfig(quick bool) Config {
+	flows := 100
+	if quick {
+		flows = 50
+	}
+	cfg := SmallConfig(ProtoMMPTCP, flows)
+	cfg.Seed = 1
+	return cfg
+}
+
+// ChurnBenchConfig is the tracked fault-heavy benchmark scenario shared
+// by BenchmarkXChurnRecompute and cmd/bench, so BENCH.json and the in-
+// repo benchmark always measure the same workload: the ROADMAP's
+// paper-scale 512-host K=8 FatTree (a 64-host K=4 in quick mode) under
+// a high-churn MTBF/MTTR model with the routing mode under test. Churn
+// concentrates at the access layer, as in production failure studies
+// (server and ToR ports flap far more often than fabric cables), with a
+// slower trickle of aggregation cable cuts keeping the fabric tables
+// moving too. Flows are few — the scenario isolates the control plane's
+// reconvergence work, which before incremental recompute dominated
+// fault-heavy runs at this scale.
+func ChurnBenchConfig(mode RoutingMode, quick bool) Config {
+	var cfg Config
+	if quick {
+		cfg = SmallConfig(ProtoTCP, 20)
+		cfg.MaxSimTime = 2 * Second
+	} else {
+		cfg = PaperConfig(ProtoTCP, 30)
+		cfg.MaxSimTime = 3 * Second
+	}
+	cfg.Seed = 1
+	cfg.Faults = FaultsConfig{
+		Model: FaultModel{
+			Layers: []FaultLayerModel{
+				{Layer: LayerHost, MTBF: 1 * Second, MTTR: 50 * Millisecond},
+				{Layer: LayerAgg, MTBF: 8 * Second, MTTR: 100 * Millisecond},
+			},
+			Horizon: cfg.MaxSimTime,
+		},
+		ReconvergeDelay: 10 * Millisecond,
+	}
+	cfg.Routing = mode
+	return cfg
+}

@@ -298,6 +298,9 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 		res.Routing.Recomputes = st.Recomputes
 		res.Routing.LastConvergence = st.LastConvergence
 		res.Routing.Overrides = st.Overrides
+		res.Routing.DstRecomputed = st.DstRecomputed
+		res.Routing.DstSkipped = st.DstSkipped
+		res.Routing.BFSRuns = st.BFSRuns
 	}
 	return res, nil
 }
