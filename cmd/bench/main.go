@@ -72,6 +72,7 @@ func main() {
 
 	engineThroughput(*quick, add)
 	churnRecompute(*quick, add)
+	staggeredChurn(*quick, add)
 	microBenches(add)
 
 	f := File{
@@ -170,6 +171,37 @@ func churnRecompute(quick bool, add addFunc) {
 		}
 		add(v.name, br, m)
 	}
+}
+
+// staggeredChurn is the same churn workload under staggered per-switch
+// convergence (mmptcp.StaggeredChurnBenchConfig: 2ms of flip delay per
+// hop), so the cost of the per-switch scheduling machinery — staged
+// table forks, flip events, window accounting — is tracked directly
+// against churn-recompute/global, and the transient-window counters
+// land in BENCH.json next to it.
+func staggeredChurn(quick bool, add addFunc) {
+	var last *mmptcp.Results
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := mmptcp.Run(mmptcp.StaggeredChurnBenchConfig(quick))
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+	})
+	add("churn-recompute/staggered", br, map[string]float64{
+		"fault_events":   float64(last.FaultEvents),
+		"recomputes":     float64(last.Routing.Recomputes),
+		"flips":          float64(last.Routing.Flips),
+		"transient_ms":   last.Routing.TransientTime.Milliseconds(),
+		"loop_drops":     float64(last.LoopDrops),
+		"tn_noroute":     float64(last.Routing.TransientNoRoute),
+		"stale_lookups":  float64(last.Routing.StaleLookups),
+		"dst_recomputed": float64(last.Routing.DstRecomputed),
+		"dst_skipped":    float64(last.Routing.DstSkipped),
+	})
 }
 
 // microBenches are the two allocation-free hot paths the regression

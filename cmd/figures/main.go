@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	figures -fig 1a|1b|1c|stats|switch|load|hotspot|multihomed|coexist|failure|repair|all
+//	figures -fig 1a|1b|1c|stats|switch|load|hotspot|multihomed|coexist|failure|repair|transient|all
 //	        [-scale tiny|small|medium|paper] [-flows N] [-seed S] [-csv]
 //	        [-workers N]
 //
@@ -40,7 +40,7 @@ import (
 )
 
 var (
-	figFlag     = flag.String("fig", "all", "artefact to regenerate: 1a, 1b, 1c, stats, switch, load, hotspot, multihomed, coexist, dupthresh, threshold, dctcp, incast, failure, repair, all")
+	figFlag     = flag.String("fig", "all", "artefact to regenerate: 1a, 1b, 1c, stats, switch, load, hotspot, multihomed, coexist, dupthresh, threshold, dctcp, incast, failure, repair, transient, all")
 	scaleFlag   = flag.String("scale", "small", "experiment scale: tiny, small, medium, paper")
 	flowsFlag   = flag.Int("flows", 0, "override the number of short flows")
 	seedFlag    = flag.Uint64("seed", 1, "random seed")
@@ -81,6 +81,8 @@ func main() {
 		failure()
 	case "repair":
 		repair()
+	case "transient":
+		transient()
 	case "all":
 		fig1a()
 		fig1bc(mmptcp.ProtoMPTCP, "1b")
@@ -97,6 +99,7 @@ func main() {
 		incast()
 		failure()
 		repair()
+		transient()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *figFlag)
 		os.Exit(2)
@@ -576,7 +579,7 @@ func repair() {
 						Events:          mmptcp.FailCables(mmptcp.LayerAgg, cables, failAt, repairAt),
 						ReconvergeDelay: reconverge,
 					}
-					cfg.Routing = mode
+					cfg.Routing.Mode = mode
 				}
 				points = append(points, point{cables, mode, proto})
 				configs = append(configs, cfg)
@@ -597,6 +600,72 @@ func repair() {
 			p.cables, mode, p.proto, s.MeanMs, s.P99Ms, s.MaxMs,
 			res.DeadlineMissRate*100, res.LongThroughputMbps,
 			res.NoRouteDrops, res.Blackholed, res.Routing.Recomputes)
+	}
+	fmt.Println()
+}
+
+// transient is the staged-convergence experiment per-switch FIB epochs
+// open: agg-core cables are cut at 200ms and repaired at 900ms under
+// global routing with *staggered* convergence, and the scan sweeps the
+// per-hop flip propagation delay for TCP vs MPTCP vs MMPTCP. At 0ms per
+// hop every switch flips with the recompute (the atomic baseline); as
+// the delay grows the fabric spends longer disagreeing with itself, and
+// the table splits the damage of that window out of the totals:
+// micro-loop deaths (loop_drops, hop-backstop kills while the window is
+// open), blackholes bred by the disagreement itself (tn_noroute,
+// packets arriving at an already-flipped switch whose new table has no
+// way forward), lookups served by stale FIB epochs, and the cumulative
+// window duration. Packet scatter rides the window the same way it
+// rides the failure — MMPTCP's tail grows far slower with the delay
+// than single-path TCP's.
+func transient() {
+	const (
+		failAt   = 200 * sim.Millisecond
+		repairAt = 900 * sim.Millisecond
+		reconv   = 10 * sim.Millisecond
+		cables   = 2
+	)
+	protos := []mmptcp.Protocol{mmptcp.ProtoTCP, mmptcp.ProtoMPTCP, mmptcp.ProtoMMPTCP}
+	perHops := []sim.Time{0, 1 * sim.Millisecond, 5 * sim.Millisecond, 20 * sim.Millisecond}
+
+	type point struct {
+		perHop sim.Time
+		proto  mmptcp.Protocol
+	}
+	var points []point
+	var configs []mmptcp.Config
+	for _, perHop := range perHops {
+		for _, proto := range protos {
+			cfg := baseConfig(proto)
+			// Stranded single-path flows surface as deadline misses
+			// rather than dominating the scan's wall time.
+			if cfg.MaxSimTime == 0 || cfg.MaxSimTime > 60*sim.Second {
+				cfg.MaxSimTime = 60 * sim.Second
+			}
+			cfg.Faults = mmptcp.FaultsConfig{
+				Events:          mmptcp.FailCables(mmptcp.LayerAgg, cables, failAt, repairAt),
+				ReconvergeDelay: reconv,
+			}
+			cfg.Routing = mmptcp.RoutingConfig{
+				Mode:        mmptcp.RoutingGlobal,
+				Convergence: mmptcp.ConvergeStaggered,
+				PerHopDelay: perHop,
+			}
+			points = append(points, point{perHop, proto})
+			configs = append(configs, cfg)
+		}
+	}
+	results := sweep(configs)
+	fmt.Println("== Roadmap: staged convergence transients (2 agg-core cables cut at 200ms, repaired at 900ms, staggered flips) ==")
+	fmt.Println("perhop_ms  proto    mean_ms  p99_ms   miss_pct  loop_drops  tn_noroute  stale_lookups  window_ms  flips")
+	for i, res := range results {
+		p := points[i]
+		s := res.ShortSummary
+		fmt.Printf("%9.1f  %-7s  %7.1f  %7.1f  %8.1f  %10d  %10d  %13d  %9.1f  %5d\n",
+			p.perHop.Milliseconds(), p.proto, s.MeanMs, s.P99Ms,
+			res.DeadlineMissRate*100, res.LoopDrops, res.Routing.TransientNoRoute,
+			res.Routing.StaleLookups, res.Routing.TransientTime.Milliseconds(),
+			res.Routing.Flips)
 	}
 	fmt.Println()
 }

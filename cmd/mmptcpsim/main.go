@@ -62,6 +62,10 @@ func main() {
 		reconvMs = flag.Float64("reconverge-ms", 10, "routing reconvergence delay, milliseconds")
 		failSw   = flag.String("fail-switches", "", "comma-separated switch ordinals to crash at -fail-at-ms (restart at -repair-at-ms)")
 		routing  = flag.String("routing", "local", "repair model under failures: local (per-switch link exclusion) or global (control-plane reconvergence)")
+		converge = flag.String("convergence", "atomic", "how recomputed tables reach the switches under -routing global: atomic (one flip) or staggered (per-switch FIB flips)")
+		perhopMs = flag.Float64("perhop-ms", 0, "staggered convergence: extra flip delay per hop from the failure, milliseconds")
+		holdMs   = flag.Float64("holddown-ms", 0, "flap damping window, milliseconds (0 = no damping)")
+		flapThr  = flag.Int("flap-threshold", 0, "transitions within one hold-down window before a link is damped (0 = default 3)")
 		lossRate = flag.Float64("degrade-loss", 0, "degrade the -fail-cables cables with this random-loss probability instead of hard failure")
 		capFact  = flag.Float64("degrade-capacity", 0, "scale the -fail-cables cables' capacity by this factor in (0,1] instead of hard failure")
 		seed     = flag.Uint64("seed", 1, "random seed (with -seeds: base for derived replicate seeds)")
@@ -105,7 +109,36 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-degrade-loss/-degrade-capacity need -fail-cables to select how many cables to degrade")
 		os.Exit(2)
 	}
-	cfg.Routing = mmptcp.RoutingMode(*routing)
+	// Timing flags feed virtual-time schedules; a negative value would
+	// silently schedule events at clamped or wrapped times. Reject them
+	// here with a usable message rather than deep in the run.
+	for _, check := range []struct {
+		name  string
+		value float64
+	}{
+		{"-fail-at-ms", *failAtMs},
+		{"-repair-at-ms", *repairMs},
+		{"-reconverge-ms", *reconvMs},
+		{"-perhop-ms", *perhopMs},
+		{"-holddown-ms", *holdMs},
+		{"-max-sim-seconds", *maxSimS},
+	} {
+		if check.value < 0 {
+			fmt.Fprintf(os.Stderr, "%s must not be negative (got %v)\n", check.name, check.value)
+			os.Exit(2)
+		}
+	}
+	if *flapThr < 0 {
+		fmt.Fprintf(os.Stderr, "-flap-threshold must not be negative (got %d)\n", *flapThr)
+		os.Exit(2)
+	}
+	cfg.Routing = mmptcp.RoutingConfig{
+		Mode:          mmptcp.RoutingMode(*routing),
+		Convergence:   mmptcp.ConvergenceMode(*converge),
+		PerHopDelay:   sim.FromSeconds(*perhopMs / 1000),
+		HoldDown:      sim.FromSeconds(*holdMs / 1000),
+		FlapThreshold: *flapThr,
+	}
 	if *failSw != "" {
 		var ords []int
 		for _, part := range strings.Split(*failSw, ",") {
@@ -309,5 +342,14 @@ func report(res *mmptcp.Results, wall time.Duration) {
 				res.Routing.Recomputes, res.Routing.LastConvergence, res.Routing.Overrides)
 		}
 		fmt.Println()
+		if res.Routing.Convergence == string(mmptcp.ConvergeStaggered) {
+			fmt.Printf("  staggered convergence: %d per-switch flips, %v cumulative transient window\n",
+				res.Routing.Flips, res.Routing.TransientTime)
+			fmt.Printf("    window damage: %d loop drops, %d transient no-route, %d stale lookups\n",
+				res.LoopDrops, res.Routing.TransientNoRoute, res.Routing.StaleLookups)
+		}
+		if res.Routing.Damped > 0 {
+			fmt.Printf("  flap damping: %d transitions deferred by hold-down\n", res.Routing.Damped)
+		}
 	}
 }

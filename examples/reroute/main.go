@@ -53,7 +53,7 @@ func main() {
 			cfg.Seed = 7
 			cfg.MaxSimTime = 60 * mmptcp.Second
 			cfg.Faults = faultPlan
-			cfg.Routing = mode
+			cfg.Routing.Mode = mode
 			points = append(points, point{proto, mode})
 			configs = append(configs, cfg)
 		}

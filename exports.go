@@ -61,8 +61,12 @@ type (
 	// RoutingMode selects local vs global repair under failures; see
 	// Config.Routing.
 	RoutingMode = routing.Mode
+	// ConvergenceMode selects atomic vs staggered (per-switch FIB flip)
+	// table distribution in the global control plane; see RoutingConfig.
+	ConvergenceMode = routing.Convergence
 	// RoutingStats reports the control plane's work (recompute count,
-	// last convergence time, live override entries) in Results.Routing.
+	// last convergence time, live override entries, staggered flip
+	// spread and transient-window damage) in Results.Routing.
 	RoutingStats = metrics.RoutingStats
 )
 
@@ -76,10 +80,16 @@ const (
 	FaultSwitchUp   = faults.SwitchUp
 )
 
-// Routing repair modes for Config.Routing.
+// Routing repair modes for Config.Routing.Mode.
 const (
 	RoutingLocal  = routing.Local
 	RoutingGlobal = routing.Global
+)
+
+// Convergence models for Config.Routing.Convergence.
+const (
+	ConvergeAtomic    = routing.Atomic
+	ConvergeStaggered = routing.Staggered
 )
 
 // Topology layers, for addressing fault targets.

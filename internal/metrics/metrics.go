@@ -201,14 +201,36 @@ func (s Summary) String() string {
 // cached passes survive across recomputes). A full (non-incremental)
 // rebuild would show DstSkipped == 0 and DstRecomputed == recomputes x
 // hosts.
+//
+// The convergence fields describe how recomputed tables reached the
+// switches. Under the default atomic model every switch flips at
+// recompute time and they are all zero. Under staggered convergence
+// Flips counts per-switch table flips, FirstFlip/LastFlip bracket the
+// most recent transition's flip schedule (its convergence spread),
+// TransientTime accumulates how long at least one switch served a stale
+// table, and the window damage is split out: TransientNoRoute
+// (blackholes bred by the disagreement rather than the failure itself)
+// and StaleLookups (lookups served by a not-yet-flipped table); the
+// micro-loop deaths live in Results.LoopDrops next to HopDrops, the
+// counter they are distinguished from. Damped counts link transitions
+// whose recompute the hold-down policy deferred.
 type RoutingStats struct {
 	Mode            string
+	Convergence     string
 	Recomputes      int
 	LastConvergence sim.Time
 	Overrides       int
 	DstRecomputed   int
 	DstSkipped      int
 	BFSRuns         int
+
+	Flips            int
+	FirstFlip        sim.Time
+	LastFlip         sim.Time
+	TransientTime    sim.Time
+	TransientNoRoute int64
+	StaleLookups     int64
+	Damped           int
 }
 
 // LayerStats aggregates link counters at one topology layer.

@@ -39,6 +39,30 @@ func LiveLinks(links []*Link) []*Link {
 	return links
 }
 
+// VersionedRouter is implemented by routers that version their tables —
+// the routing control plane's per-switch FIBs. The switch consults it on
+// every lookup so damage done while the fabric disagrees with itself
+// (staggered convergence) is attributed to the transient window rather
+// than folded into steady-state noise.
+type VersionedRouter interface {
+	Router
+	// Staging reports whether staged (per-switch) convergence is enabled
+	// for this router at all. A switch consults the epoch on lookup only
+	// when it is: under atomic convergence Stale/Transient can never be
+	// true, and the hot path stays a plain nil check.
+	Staging() bool
+	// Epoch returns the version of the table serving lookups: the number
+	// of staged flips this switch has applied.
+	Epoch() uint64
+	// Stale reports whether a recomputed table is staged at this switch
+	// but has not yet flipped in — lookups are served by the old epoch.
+	Stale() bool
+	// Transient reports whether the network-wide staggered window is
+	// open: some switch has flipped to the new tables while another
+	// still serves the old ones.
+	Transient() bool
+}
+
 // maxHops bounds packet forwarding as a routing-loop backstop. The
 // deepest sane path in any supported topology is well under this.
 const maxHops = 32
@@ -54,7 +78,11 @@ type Switch struct {
 	id     NodeID
 	eng    *sim.Engine
 	router Router
-	seed   uint32
+	// vrouter caches the router's VersionedRouter view (nil for plain
+	// routers), so the per-lookup epoch consultation is a nil check plus
+	// at most one interface call rather than a type assertion.
+	vrouter VersionedRouter
+	seed    uint32
 
 	// down marks a crashed switch (all ports dead, forwarding plane
 	// gone). The faults subsystem drives it together with the incident
@@ -69,10 +97,24 @@ type Switch struct {
 	// Stats
 	Forwarded int64
 	Dropped   int64 // packets discarded due to the hop-count backstop
+	// LoopDrops counts hop-backstop drops that happened while the
+	// routing transient window was open — switches disagreeing about the
+	// tables is what breeds forwarding micro-loops — as distinct from
+	// the steady-state hop-limit noise in Dropped. Always zero under
+	// atomic convergence.
+	LoopDrops int64
 	// NoRoute counts packets dropped because the router returned an
 	// empty equal-cost set — every candidate link toward the destination
 	// was excluded by failures. On a healthy network this stays zero.
 	NoRoute int64
+	// TransientNoRoute is the slice of NoRoute that fell inside an open
+	// staggered-convergence window: blackholes bred by the fabric's
+	// momentary disagreement rather than by the failure itself.
+	TransientNoRoute int64
+	// StaleLookups counts lookups served while a recomputed table was
+	// staged at this switch but not yet flipped in — the traffic exposed
+	// to the old epoch during the transient window.
+	StaleLookups int64
 	// Crashes counts how many times the switch went down, and CrashDrops
 	// the packets that reached it while crashed (rare: the incident links
 	// blackhole almost everything first, but a packet already queued on
@@ -95,9 +137,15 @@ func NewSwitch(eng *sim.Engine, id NodeID, seed uint32) *Switch {
 func (s *Switch) ID() NodeID { return s.id }
 
 // SetRouter installs the routing function. Topology builders call this
-// once wiring is complete, and the routing control plane swaps in a
-// wrapped router when global reconvergence is enabled.
-func (s *Switch) SetRouter(r Router) { s.router = r }
+// once wiring is complete, and the routing control plane swaps in its
+// per-switch FIB when global reconvergence is enabled.
+func (s *Switch) SetRouter(r Router) {
+	s.router = r
+	s.vrouter = nil
+	if vr, ok := r.(VersionedRouter); ok && vr.Staging() {
+		s.vrouter = vr
+	}
+}
 
 // Router returns the currently installed routing function.
 func (s *Switch) Router() Router { return s.router }
@@ -149,14 +197,24 @@ func (s *Switch) Receive(p *Packet, from *Link) {
 		return
 	}
 	if p.Hops > maxHops {
-		s.Dropped++
+		if s.vrouter != nil && s.vrouter.Transient() {
+			s.LoopDrops++
+		} else {
+			s.Dropped++
+		}
 		s.pool.Put(p)
 		return
 	}
 	links := s.router.NextLinks(p.Dst)
+	if s.vrouter != nil && s.vrouter.Stale() {
+		s.StaleLookups++
+	}
 	n := len(links)
 	if n == 0 {
 		s.NoRoute++
+		if s.vrouter != nil && s.vrouter.Transient() {
+			s.TransientNoRoute++
+		}
 		s.pool.Put(p)
 		return
 	}

@@ -103,6 +103,90 @@ func TestSwitchHopBackstop(t *testing.T) {
 	}
 }
 
+// versionedRouter is a test VersionedRouter with controllable window
+// state, standing in for the control plane's FIBs.
+type versionedRouter struct {
+	staticRouter
+	staging   bool
+	epoch     uint64
+	stale     bool
+	transient bool
+}
+
+func (r *versionedRouter) Staging() bool   { return r.staging }
+func (r *versionedRouter) Epoch() uint64   { return r.epoch }
+func (r *versionedRouter) Stale() bool     { return r.stale }
+func (r *versionedRouter) Transient() bool { return r.transient }
+
+// TestSwitchTransientDropClassification pins the loop-drop accounting:
+// hop-backstop drops inside an open convergence window are LoopDrops,
+// outside they stay hop-limit noise in Dropped; no-route drops inside
+// the window additionally count as TransientNoRoute; and lookups served
+// while the switch's own table is stale are counted.
+func TestSwitchTransientDropClassification(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewSwitch(eng, 100, 7)
+	dst := newSink(eng, 1)
+	l := NewLink(eng, sw, dst, 1_000_000_000, 0, 10, LayerEdge)
+	vr := &versionedRouter{staticRouter: staticRouter{[]*Link{l}}, staging: true}
+	sw.SetRouter(vr)
+
+	overHops := func() *Packet {
+		p := dataPacket(1500)
+		p.Hops = maxHops + 1
+		return p
+	}
+	// Outside the window: hop-limit noise.
+	sw.Receive(overHops(), nil)
+	if sw.Dropped != 1 || sw.LoopDrops != 0 {
+		t.Fatalf("outside window: dropped=%d loops=%d, want 1/0", sw.Dropped, sw.LoopDrops)
+	}
+	// Window open: the same drop is a micro-loop casualty.
+	vr.transient = true
+	sw.Receive(overHops(), nil)
+	if sw.Dropped != 1 || sw.LoopDrops != 1 {
+		t.Fatalf("inside window: dropped=%d loops=%d, want 1/1", sw.Dropped, sw.LoopDrops)
+	}
+	// Empty set inside the window: NoRoute and TransientNoRoute.
+	vr.links = nil
+	sw.Receive(dataPacket(1500), nil)
+	if sw.NoRoute != 1 || sw.TransientNoRoute != 1 {
+		t.Fatalf("window blackhole: noroute=%d transient=%d, want 1/1", sw.NoRoute, sw.TransientNoRoute)
+	}
+	vr.transient = false
+	sw.Receive(dataPacket(1500), nil)
+	if sw.NoRoute != 2 || sw.TransientNoRoute != 1 {
+		t.Fatalf("steady blackhole: noroute=%d transient=%d, want 2/1", sw.NoRoute, sw.TransientNoRoute)
+	}
+	// Stale-table lookups are counted whether or not they forward.
+	vr.links = []*Link{l}
+	vr.stale = true
+	sw.Receive(dataPacket(1500), nil)
+	if sw.StaleLookups != 1 {
+		t.Fatalf("stale lookups = %d, want 1", sw.StaleLookups)
+	}
+	vr.stale = false
+	sw.Receive(dataPacket(1500), nil)
+	if sw.StaleLookups != 1 {
+		t.Fatalf("fresh lookup counted as stale: %d", sw.StaleLookups)
+	}
+	eng.Run()
+
+	// A versioned router with staging disabled (atomic convergence) is
+	// never consulted: its windows cannot open, so the switch keeps the
+	// plain nil-check fast path and classifies drops as steady-state.
+	sw2 := NewSwitch(eng, 101, 7)
+	sw2.SetRouter(&versionedRouter{staticRouter: staticRouter{[]*Link{l}}, transient: true, stale: true})
+	p := dataPacket(1500)
+	p.Hops = maxHops + 1
+	sw2.Receive(p, nil)
+	if sw2.LoopDrops != 0 || sw2.Dropped != 1 || sw2.StaleLookups != 0 {
+		t.Errorf("non-staging router consulted: loops=%d dropped=%d stale=%d",
+			sw2.LoopDrops, sw2.Dropped, sw2.StaleLookups)
+	}
+	eng.Run()
+}
+
 func TestFlowHashProperties(t *testing.T) {
 	// Property: the hash depends only on the 5-tuple and seed.
 	f := func(src, dst int32, sport, dport uint16, seed uint32) bool {

@@ -3,39 +3,52 @@
 // links out of its equal-cost sets (netem.LiveLinks), but upstream ECMP
 // keeps hashing onto next hops that lost their only way forward — a core
 // switch whose sole downlink to a pod died still receives that pod's
-// traffic and drops it as NoRoute. The control plane closes that gap: it
-// owns a wrapped router per switch and, whenever the fault injector
-// flips a link's routing state (reconvergence-delayed), recomputes
-// global reachability with a breadth-first pass over the live links and
-// overrides exactly the (switch, destination) entries whose equal-cost
-// sets diverge from the structural fast path.
+// traffic and drops it as NoRoute. The control plane closes that gap:
+// every switch owns a FIB (its structural router, its own override
+// table, and an epoch counter versioning applied updates), and whenever
+// the fault injector flips a link's routing state (reconvergence-
+// delayed), the plane recomputes global reachability with a breadth-
+// first pass over the live links and overrides exactly the (switch,
+// destination) entries whose equal-cost sets diverge from the structural
+// fast path.
 //
-// The recompute is incremental. Hop-distance maps are cached per
-// live-attachment signature (all hosts sharing the same set of live
-// access switches share one reverse BFS) and stay valid across
-// recomputes; a link transition invalidates only the signatures whose
-// shortest-path DAG the flipped link can belong to, judged against the
-// cached distances (see entryDirty). Destinations whose distances and
-// whose switches' equal-cost sets are provably untouched are skipped
-// entirely — no BFS, no table reconciliation — which is what makes
-// high-churn studies on paper-scale (512-host) topologies cheap. BFS
-// scratch (frontier slices, distance maps) is recycled across passes, so
-// steady-state reconvergence does not allocate proportionally to the
-// network.
+// Recompute is a two-stage pipeline. Stage one computes the target
+// tables incrementally: hop-distance maps are cached per live-attachment
+// signature (all hosts sharing the same set of live access switches
+// share one reverse BFS) and stay valid across recomputes; a link
+// transition invalidates only the signatures whose shortest-path DAG the
+// flipped link can belong to (see entryDirty), and destinations whose
+// distances and equal-cost sets are provably untouched are skipped
+// entirely. Stage two distributes the targets. Under ConvergeAtomic
+// (the default) every FIB flips in place at recompute time — one global
+// table swap, the pre-staged behaviour bit for bit. Under
+// ConvergeStaggered each FIB's flip is scheduled at its own virtual
+// time: recompute time plus PerHopDelay for every hop the switch sits
+// from the nearest element of the transition batch, the way real
+// control planes converge outward from a failure. While flips are
+// outstanding the fabric disagrees with itself — micro-loops and
+// transient blackholes — and the FIBs make that observable: Stale
+// reports a staged-but-unflipped table, Transient reports the open
+// network-wide window, and Stats records the flip spread and cumulative
+// window time.
+//
+// The plane also dampens churn: with Config.HoldDown set, a link whose
+// routing state flips more than FlapThreshold times inside the trailing
+// hold-down window stops triggering immediate recomputes — its pending
+// transitions are folded into one deferred rebuild at window expiry, the
+// way real control planes suppress flapping advertisements.
 //
 // The healthy network never pays for the indirection beyond a nil check:
 // overrides exist only for destinations whose reachability actually
-// changed, every other lookup falls through to the structural router
-// (the FatTree's allocation-free addressing-based sets, or the generic
-// BFS tables). Recomputes are coalesced — any number of simultaneous
-// link transitions (a switch crash kills dozens of ports at one instant)
-// trigger exactly one table rebuild, scheduled at the same virtual time
-// — and everything is deterministic: the pass iterates hosts and
-// switches in builder order, so identical fault schedules yield
-// byte-identical routing at any sweep worker count. Incrementality is
-// behaviour-neutral by construction (skipped destinations have provably
-// unchanged tables); TestIncrementalMatchesFullRecompute asserts this
-// against ForceFullRecompute.
+// changed, every other lookup falls through to the structural router.
+// Recomputes are coalesced — any number of simultaneous link transitions
+// trigger exactly one rebuild — and everything is deterministic: passes
+// iterate hosts and switches in builder order and flips are scheduled in
+// builder order, so identical fault schedules yield byte-identical
+// routing at any sweep worker count. Incrementality is behaviour-neutral
+// by construction; TestIncrementalMatchesFullRecompute asserts this
+// against ForceFullRecompute, and the staggered path with PerHopDelay=0
+// degenerates to atomic exactly (flips due "now" apply inline).
 package routing
 
 import (
@@ -78,6 +91,80 @@ func ParseMode(s string) (Mode, error) {
 	return "", fmt.Errorf("routing: unknown mode %q (want %q or %q)", s, Local, Global)
 }
 
+// Convergence selects how recomputed tables reach the switches.
+type Convergence string
+
+const (
+	// Atomic flips every switch's table at recompute time — one global
+	// swap, no transient disagreement. This is the default and the
+	// pre-staged behaviour bit for bit.
+	Atomic Convergence = "atomic"
+	// Staggered schedules each switch's flip at its own time: recompute
+	// time plus Config.PerHopDelay per hop from the nearest element of
+	// the transition batch. Switches disagree until the last flip lands,
+	// opening the micro-loop / transient-blackhole window real control
+	// planes exhibit.
+	Staggered Convergence = "staggered"
+)
+
+// ParseConvergence validates a convergence string; empty means Atomic.
+func ParseConvergence(s string) (Convergence, error) {
+	switch Convergence(s) {
+	case "", Atomic:
+		return Atomic, nil
+	case Staggered:
+		return Staggered, nil
+	}
+	return "", fmt.Errorf("routing: unknown convergence %q (want %q or %q)", s, Atomic, Staggered)
+}
+
+// Config tunes an installed control plane. The zero value is the
+// classic plane: atomic convergence, no flap damping.
+type Config struct {
+	// Convergence picks atomic (default) or staggered table flips.
+	Convergence Convergence
+	// PerHopDelay is the extra flip delay per hop a switch sits from the
+	// nearest failed (or repaired) element, under Staggered convergence.
+	// Zero makes Staggered degenerate to Atomic exactly. Must not be
+	// negative.
+	PerHopDelay sim.Time
+	// HoldDown enables flap damping: a link whose routing state
+	// transitions more than FlapThreshold times within this trailing
+	// window stops triggering immediate recomputes; its pending flips
+	// fold into one deferred rebuild at window expiry. Zero disables.
+	HoldDown sim.Time
+	// FlapThreshold is the number of transitions inside one hold-down
+	// window a link may make before it is damped; defaults to 3 when
+	// HoldDown is set. Must not be negative.
+	FlapThreshold int
+}
+
+// Validate checks the config for contradictions. Install runs it, and
+// the public mmptcp.Config surface calls it up front so a bad value is
+// rejected even on runs that never install a control plane.
+func (c Config) Validate() error {
+	conv, err := ParseConvergence(string(c.Convergence))
+	if err != nil {
+		return err
+	}
+	if c.PerHopDelay < 0 {
+		return fmt.Errorf("routing: negative PerHopDelay %v", c.PerHopDelay)
+	}
+	if c.PerHopDelay > 0 && conv != Staggered {
+		return fmt.Errorf("routing: PerHopDelay is only meaningful with Convergence %q", Staggered)
+	}
+	if c.HoldDown < 0 {
+		return fmt.Errorf("routing: negative HoldDown %v", c.HoldDown)
+	}
+	if c.FlapThreshold < 0 {
+		return fmt.Errorf("routing: negative FlapThreshold %d", c.FlapThreshold)
+	}
+	if c.FlapThreshold > 0 && c.HoldDown == 0 {
+		return fmt.Errorf("routing: FlapThreshold %d without HoldDown does nothing (set the damping window too)", c.FlapThreshold)
+	}
+	return nil
+}
+
 // Stats reports the control plane's work during a run.
 type Stats struct {
 	// Recomputes counts global table rebuilds (coalesced: simultaneous
@@ -88,7 +175,9 @@ type Stats struct {
 	// Overrides is the number of (switch, destination) entries whose
 	// equal-cost sets diverge from the structural routers' live-filtered
 	// answers after the last rebuild (entries installed only to pin the
-	// static baseline are not counted).
+	// static baseline are not counted). Under staggered convergence the
+	// count is refreshed again when the transient window closes, so it
+	// reflects the tables actually serving lookups.
 	Overrides int
 
 	// DstRecomputed counts destinations whose tables were reconciled
@@ -102,24 +191,129 @@ type Stats struct {
 	// destinations sharing a live-attachment signature share one, and
 	// cached passes from earlier recomputes are reused outright.
 	BFSRuns int
+
+	// Staggered-convergence accounting; identically zero under Atomic.
+	// Flips counts per-switch table flips applied. FirstFlip and
+	// LastFlip bracket the most recent transition's flip schedule (the
+	// convergence spread), and TransientTime accumulates, across all
+	// transitions, the virtual time during which at least one switch
+	// still served a stale table.
+	Flips         int
+	FirstFlip     sim.Time
+	LastFlip      sim.Time
+	TransientTime sim.Time
+
+	// Damped counts link transitions whose recompute was deferred by
+	// the hold-down timer (zero unless Config.HoldDown is set).
+	Damped int
 }
 
-// table is the per-switch router the control plane installs: overrides
-// first, structural fast path otherwise. On a healthy network override
-// is nil and every lookup is a nil check plus the base call.
-type table struct {
-	base     netem.Router
+// FIB is one switch's forwarding-table object: the structural base
+// router, the override entries currently serving lookups, an optional
+// staged table awaiting its scheduled flip, and the epoch counter
+// versioning applied flips. On a healthy network override is nil and
+// every lookup is a nil check plus the base call. FIB implements
+// netem.VersionedRouter so the data plane can attribute damage done
+// while the fabric disagrees with itself.
+type FIB struct {
+	cp   *ControlPlane
+	base netem.Router
+	// override serves lookups; target, when non-nil, is the recomputed
+	// table staged for this switch but not yet flipped in.
 	override map[netem.NodeID][]*netem.Link
+	target   map[netem.NodeID][]*netem.Link
+	// flipAt is the scheduled flip time of the current target. Each
+	// batch schedules its own flip event; an event is authoritative only
+	// if it fires exactly at flipAt, so a batch that re-stages a switch
+	// with a pending flip moves the flip to its own schedule instead of
+	// letting the stale event install the fresher table early.
+	flipAt sim.Time
+	epoch  uint64
 }
 
-// NextLinks implements netem.Router.
-func (t *table) NextLinks(dst netem.NodeID) []*netem.Link {
-	if t.override != nil {
-		if eq, ok := t.override[dst]; ok {
+// NextLinks implements netem.Router: overrides first, structural fast
+// path otherwise.
+func (f *FIB) NextLinks(dst netem.NodeID) []*netem.Link {
+	if f.override != nil {
+		if eq, ok := f.override[dst]; ok {
 			return eq
 		}
 	}
-	return t.base.NextLinks(dst)
+	return f.base.NextLinks(dst)
+}
+
+// Staging implements netem.VersionedRouter: whether staged convergence
+// is enabled at all. Under atomic convergence the switch skips the
+// per-lookup epoch consultation entirely.
+func (f *FIB) Staging() bool { return f.cp.staggered() }
+
+// Epoch implements netem.VersionedRouter: the number of table flips this
+// switch has applied. Atomic convergence flips all switches in place and
+// leaves epochs at zero.
+func (f *FIB) Epoch() uint64 { return f.epoch }
+
+// Stale implements netem.VersionedRouter: a recomputed table is staged
+// at this switch but has not yet flipped in.
+func (f *FIB) Stale() bool { return f.target != nil }
+
+// Transient implements netem.VersionedRouter: the network-wide staggered
+// window is open — some switch flipped to the new tables while another
+// still serves the old ones.
+func (f *FIB) Transient() bool { return f.cp.staleFIBs > 0 }
+
+// stage records dst's computed equal-cost set into the FIB's target
+// table, lazily forking it from the serving table on the first actual
+// divergence (an entry exists exactly when eq differs from the healthy
+// structural baseline, the same invariant the serving table keeps).
+func (f *FIB) stage(dst netem.NodeID, eq, healthy []*netem.Link) {
+	cur := f.override
+	if f.target != nil {
+		cur = f.target
+	}
+	have, havePresent := cur[dst]
+	wantPresent := !sameLinks(eq, healthy)
+	if wantPresent == havePresent && (!wantPresent || sameLinks(eq, have)) {
+		return
+	}
+	if f.target == nil {
+		f.target = make(map[netem.NodeID][]*netem.Link, len(f.override)+1)
+		for k, v := range f.override {
+			f.target[k] = v
+		}
+		f.cp.staleFIBs++
+		if f.cp.staleFIBs == 1 {
+			f.cp.windowOpenedAt = f.cp.eng.Now()
+		}
+	}
+	if wantPresent {
+		f.target[dst] = eq
+	} else {
+		delete(f.target, dst)
+	}
+}
+
+// applyFlip installs the staged table as the serving one and closes the
+// transient window if this was the last stale FIB.
+func (f *FIB) applyFlip() {
+	if len(f.target) == 0 {
+		f.override = nil // restore the documented nil-check fast path
+	} else {
+		f.override = f.target
+	}
+	f.target = nil
+	f.epoch++
+	cp := f.cp
+	cp.stats.Flips++
+	cp.staleFIBs--
+	if cp.staleFIBs == 0 {
+		cp.stats.TransientTime += cp.eng.Now() - cp.windowOpenedAt
+		// The window just closed on tables the recompute-time override
+		// count never saw. Flips nil empty maps themselves, so nothing
+		// needs fixing on the forwarding path — just mark the stat stale
+		// and let Stats() recount once when somebody actually reads it,
+		// instead of scanning every FIB on every window close.
+		cp.overridesStale = true
+	}
 }
 
 // flip records one routing-visible link transition for the invalidation
@@ -137,15 +331,26 @@ type distEntry struct {
 	epoch uint64
 }
 
-// ControlPlane owns the wrapped routers of one built network and rebuilds
-// their override entries on demand. Create with Install, trigger with
+// flapState tracks one link's most recent routing transitions — a ring
+// of at most FlapThreshold+1 timestamps, enough to answer the exact
+// trailing-window question "did more than FlapThreshold transitions
+// land within the last HoldDown?" without a resettable counter's blind
+// spot (steady flapping that straddles a fixed window's reset).
+type flapState struct {
+	times []sim.Time
+	idx   int // oldest entry once the ring is full; next overwrite slot
+}
+
+// ControlPlane owns the FIBs of one built network and rebuilds their
+// override entries on demand. Create with Install, trigger with
 // Invalidate (typically wired to faults.Injector.OnRouteChange).
 type ControlPlane struct {
 	eng *sim.Engine
 	net *topology.Network
+	cfg Config
 
-	// tables is parallel to net.Switches.
-	tables []*table
+	// fibs is parallel to net.Switches.
+	fibs []*FIB
 
 	// healthy[i][j] is switch i's structural equal-cost set toward host
 	// j on the undamaged network, snapshotted at install (builders hand
@@ -161,13 +366,19 @@ type ControlPlane struct {
 	out    map[netem.NodeID][]*netem.Link // outgoing links per node
 	in     map[netem.NodeID][]*netem.Link // incoming links per node
 	isHost map[netem.NodeID]bool
+	ordOf  map[netem.NodeID]int // switch NodeID -> ordinal in builder order
 
 	dirty bool
 	// pending accumulates the switch-to-switch link transitions since
 	// the last recompute; host-incident transitions never affect switch
 	// tables except through the attachment signature, which is
-	// recomputed per destination anyway.
+	// recomputed per destination anyway. seeds carries the switch
+	// endpoints of host-incident transitions: the invalidation pass
+	// ignores them, but the staggered flip-delay BFS needs the failure's
+	// location, and the hold-down expiry path needs them to see that
+	// damped host-link transitions are still unconsumed.
 	pending []flip
+	seeds   []netem.NodeID
 	// fullPending forces the next recompute to invalidate everything
 	// (set by Invalidate(nil), the escape hatch for callers that cannot
 	// name the changed link).
@@ -181,6 +392,23 @@ type ControlPlane struct {
 	distCache map[string]*distEntry
 	hostSig   [][]byte
 	epoch     uint64
+
+	// Staggered-convergence state: flipDist is the per-switch hop
+	// distance from the current batch's seeds (reused across batches),
+	// staleFIBs counts switches whose target table awaits its flip,
+	// windowOpenedAt stamps when staleFIBs last left zero, and
+	// overridesStale marks that flips changed serving tables after the
+	// last override recount (Stats refreshes lazily).
+	flipDist       []int32
+	staleFIBs      int
+	windowOpenedAt sim.Time
+	overridesStale bool
+	flipFn         func(any)
+
+	// Flap damping state (active only with cfg.HoldDown > 0).
+	flap            map[*netem.Link]*flapState
+	deferredPending bool
+	deferredFn      func()
 
 	// Reusable scratch: recycled distance maps, the two BFS frontier
 	// slices, the signature key buffer and the BFS source-link buffer.
@@ -197,17 +425,26 @@ type ControlPlane struct {
 	stats Stats
 }
 
-// Install wraps every switch's router of the network with a control-plane
-// table and returns the plane. Until the first Invalidate the tables are
-// pure pass-throughs, so installing on a network that never degrades is
-// behaviour-neutral.
-func Install(eng *sim.Engine, net *topology.Network) *ControlPlane {
+// Install wraps every switch's router of the network with a FIB and
+// returns the plane. Until the first Invalidate the FIBs are pure
+// pass-throughs, so installing on a network that never degrades is
+// behaviour-neutral. cfg tunes convergence and damping; the zero value
+// is the classic atomic plane.
+func Install(eng *sim.Engine, net *topology.Network, cfg Config) (*ControlPlane, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.HoldDown > 0 && cfg.FlapThreshold == 0 {
+		cfg.FlapThreshold = 3
+	}
 	cp := &ControlPlane{
 		eng:       eng,
 		net:       net,
+		cfg:       cfg,
 		out:       make(map[netem.NodeID][]*netem.Link),
 		in:        make(map[netem.NodeID][]*netem.Link),
 		isHost:    make(map[netem.NodeID]bool, len(net.Hosts)),
+		ordOf:     make(map[netem.NodeID]int, len(net.Switches)),
 		distCache: make(map[string]*distEntry),
 		hostSig:   make([][]byte, len(net.Hosts)),
 	}
@@ -218,34 +455,70 @@ func Install(eng *sim.Engine, net *topology.Network) *ControlPlane {
 	for _, h := range net.Hosts {
 		cp.isHost[h.ID()] = true
 	}
-	cp.tables = make([]*table, 0, len(net.Switches))
+	for i, sw := range net.Switches {
+		cp.ordOf[sw.ID()] = i
+	}
+	cp.fibs = make([]*FIB, 0, len(net.Switches))
 	net.WrapRouters(func(sw *netem.Switch, base netem.Router) netem.Router {
-		t := &table{base: base}
-		cp.tables = append(cp.tables, t)
-		return t
+		f := &FIB{cp: cp, base: base}
+		cp.fibs = append(cp.fibs, f)
+		return f
 	})
-	cp.healthy = make([][][]*netem.Link, len(cp.tables))
-	for i, t := range cp.tables {
+	cp.healthy = make([][][]*netem.Link, len(cp.fibs))
+	for i, f := range cp.fibs {
 		cp.healthy[i] = make([][]*netem.Link, len(net.Hosts))
 		for j, h := range net.Hosts {
-			eq := t.base.NextLinks(h.ID())
+			eq := f.base.NextLinks(h.ID())
 			cp.healthy[i][j] = append([]*netem.Link(nil), eq...)
 		}
 	}
 	cp.recomputeFn = cp.Recompute
-	return cp
+	cp.flipFn = func(a any) {
+		f := a.(*FIB)
+		// Authoritative only when this event IS the current schedule: a
+		// later batch that re-staged the switch moved flipAt to its own
+		// time (and scheduled its own event), and an inline apply left
+		// no target at all.
+		if f.target != nil && eng.Now() == f.flipAt {
+			f.applyFlip()
+		}
+	}
+	if cfg.HoldDown > 0 {
+		cp.flap = make(map[*netem.Link]*flapState)
+		cp.deferredFn = cp.deferredRecompute
+	}
+	return cp, nil
 }
 
-// Stats returns the work counters.
-func (cp *ControlPlane) Stats() Stats { return cp.stats }
+// Stats returns the work counters. A still-open transient window (under
+// sustained churn new batches can re-stage tables before the previous
+// flips all land, so the fabric never fully agrees) is included in
+// TransientTime up to the current virtual time, and the override count
+// is refreshed if flips changed serving tables since the last recount.
+func (cp *ControlPlane) Stats() Stats {
+	if cp.overridesStale {
+		cp.recountOverrides()
+		cp.overridesStale = false
+	}
+	st := cp.stats
+	if cp.staleFIBs > 0 {
+		st.TransientTime += cp.eng.Now() - cp.windowOpenedAt
+	}
+	return st
+}
+
+func (cp *ControlPlane) staggered() bool { return cp.cfg.Convergence == Staggered }
 
 // Invalidate marks the tables stale and schedules one recompute at the
 // current virtual time. Any number of Invalidate calls before that
 // recompute runs coalesce into it — a switch crash that deadens dozens
 // of ports at one instant costs a single table rebuild. The flipped link
 // (its state already changed) scopes the recompute to the destinations
-// it can affect; a nil link conservatively invalidates everything.
+// it can affect; a nil link conservatively invalidates everything. A
+// link the hold-down policy has damped defers the rebuild to the end of
+// its flap window instead of triggering one now.
 func (cp *ControlPlane) Invalidate(l *netem.Link) {
+	damped := false
 	if l == nil {
 		cp.fullPending = true
 	} else {
@@ -253,27 +526,99 @@ func (cp *ControlPlane) Invalidate(l *netem.Link) {
 		// Host uplinks never appear in switch tables or distance maps,
 		// and switch->host downlinks only matter through the
 		// destination's attachment signature: neither needs an
-		// invalidation record.
+		// invalidation record. Their switch endpoint is still recorded
+		// as a seed — the staggered flip-delay pass starts there, and
+		// the hold-down expiry path must see the transition as
+		// unconsumed even in atomic mode.
 		if !cp.isHost[u] && !cp.isHost[v] {
 			cp.pending = append(cp.pending, flip{u: u, v: v, dead: l.RouteDead()})
+		} else {
+			if !cp.isHost[u] {
+				cp.seeds = append(cp.seeds, u)
+			}
+			if !cp.isHost[v] {
+				cp.seeds = append(cp.seeds, v)
+			}
 		}
+		damped = cp.noteFlap(l)
 	}
 	if cp.dirty {
+		return
+	}
+	if damped {
+		cp.stats.Damped++
+		if !cp.deferredPending {
+			cp.deferredPending = true
+			cp.eng.Schedule(cp.cfg.HoldDown, cp.deferredFn)
+		}
 		return
 	}
 	cp.dirty = true
 	cp.eng.Schedule(0, cp.recomputeFn)
 }
 
+// noteFlap records one routing transition of l and reports whether the
+// link is damped: strictly more than FlapThreshold transitions inside
+// the trailing HoldDown window ending now.
+func (cp *ControlPlane) noteFlap(l *netem.Link) bool {
+	if cp.cfg.HoldDown <= 0 {
+		return false
+	}
+	now := cp.eng.Now()
+	st := cp.flap[l]
+	if st == nil {
+		st = &flapState{times: make([]sim.Time, 0, cp.cfg.FlapThreshold+1)}
+		cp.flap[l] = st
+	}
+	if len(st.times) == cp.cfg.FlapThreshold+1 {
+		st.times[st.idx] = now
+		st.idx = (st.idx + 1) % len(st.times)
+	} else {
+		st.times = append(st.times, now)
+	}
+	if len(st.times) <= cp.cfg.FlapThreshold {
+		return false
+	}
+	// The ring holds the FlapThreshold+1 most recent transitions; the
+	// link is flapping iff the oldest of them is still inside the
+	// trailing window.
+	return now-st.times[st.idx] <= cp.cfg.HoldDown
+}
+
+// deferredRecompute is the hold-down expiry callback: it rebuilds the
+// tables only if damped transitions are still unconsumed (an undamped
+// transition in the meantime will have folded them into its own
+// recompute).
+func (cp *ControlPlane) deferredRecompute() {
+	cp.deferredPending = false
+	if cp.dirty {
+		return
+	}
+	if len(cp.pending) == 0 && len(cp.seeds) == 0 && !cp.fullPending {
+		return
+	}
+	cp.Recompute()
+}
+
 // Recompute rebuilds the override entries invalidated by the transitions
-// since the last pass. It is normally reached through Invalidate; tests
-// may call it directly (a direct call with no recorded transitions
-// re-verifies signatures but reuses every cached distance map).
+// since the last pass — stage one of the pipeline — and then distributes
+// them: atomically in place, or (staggered) as per-switch flips
+// scheduled by distance from the batch's seeds. It is normally reached
+// through Invalidate; tests may call it directly (a direct call with no
+// recorded transitions re-verifies signatures but reuses every cached
+// distance map).
 func (cp *ControlPlane) Recompute() {
 	cp.dirty = false
 	cp.stats.Recomputes++
 	cp.stats.LastConvergence = cp.eng.Now()
 	cp.epoch++
+
+	staggered := cp.staggered()
+	if staggered {
+		// Flip delays derive from the batch about to be consumed; compute
+		// them before the invalidation pass clears it.
+		cp.computeFlipDelays()
+	}
 
 	if ForceFullRecompute || cp.fullPending {
 		for key, e := range cp.distCache {
@@ -287,6 +632,7 @@ func (cp *ControlPlane) Recompute() {
 		}
 	}
 	cp.pending = cp.pending[:0]
+	cp.seeds = cp.seeds[:0]
 	cp.fullPending = false
 
 	for i, h := range cp.net.Hosts {
@@ -315,7 +661,7 @@ func (cp *ControlPlane) Recompute() {
 		// switches' equal-cost sets). Otherwise nothing about its
 		// tables can have moved and the whole destination is skipped.
 		if e.epoch == cp.epoch || !bytes.Equal(cp.keyBuf, cp.hostSig[i]) {
-			cp.reconcile(i, dst, e.dist)
+			cp.reconcile(i, dst, e.dist, staggered)
 			cp.hostSig[i] = append(cp.hostSig[i][:0], cp.keyBuf...)
 			cp.stats.DstRecomputed++
 		} else {
@@ -323,12 +669,23 @@ func (cp *ControlPlane) Recompute() {
 		}
 	}
 
+	if staggered {
+		cp.flushFlips()
+	}
+	cp.recountOverrides()
+	cp.overridesStale = false
+}
+
+// recountOverrides refreshes Stats.Overrides against the tables
+// currently serving lookups, dropping empty override maps back to the
+// nil-check fast path.
+func (cp *ControlPlane) recountOverrides() {
 	live := 0
-	for _, t := range cp.tables {
-		if len(t.override) == 0 {
+	for _, f := range cp.fibs {
+		if len(f.override) == 0 {
 			// Fully healed: drop the empty map so the forwarding path
 			// returns to the documented nil-check fast path.
-			t.override = nil
+			f.override = nil
 			continue
 		}
 		// Count only entries that diverge from the live-filtered
@@ -338,13 +695,123 @@ func (cp *ControlPlane) Recompute() {
 		// which also pins entries the live filter would have answered
 		// identically; excluding those here keeps the reported metric
 		// identical to the pre-incremental control plane's.
-		for dst, eq := range t.override {
-			if !sameLinks(eq, t.base.NextLinks(dst)) {
+		for dst, eq := range f.override {
+			if !sameLinks(eq, f.base.NextLinks(dst)) {
 				live++
 			}
 		}
 	}
 	cp.stats.Overrides = live
+}
+
+// computeFlipDelays assigns every switch its hop distance from the
+// nearest seed of the current transition batch (the endpoints of the
+// flipped links), breadth-first over the live fabric. Switches the flood
+// cannot reach — their side of a partition — converge one hop after the
+// farthest reached switch, so every staged table still lands. A full
+// invalidation (no nameable seeds) flips everything at distance zero,
+// i.e. atomically.
+func (cp *ControlPlane) computeFlipDelays() {
+	if cp.flipDist == nil {
+		cp.flipDist = make([]int32, len(cp.net.Switches))
+	}
+	if cp.fullPending || (len(cp.pending) == 0 && len(cp.seeds) == 0) {
+		for i := range cp.flipDist {
+			cp.flipDist[i] = 0
+		}
+		cp.seeds = cp.seeds[:0]
+		return
+	}
+	for i := range cp.flipDist {
+		cp.flipDist[i] = -1
+	}
+	frontier := cp.frontier[:0]
+	seed := func(id netem.NodeID) {
+		if ord, ok := cp.ordOf[id]; ok && cp.flipDist[ord] < 0 {
+			cp.flipDist[ord] = 0
+			frontier = append(frontier, id)
+		}
+	}
+	for _, f := range cp.pending {
+		seed(f.u)
+		seed(f.v)
+	}
+	for _, id := range cp.seeds {
+		seed(id)
+	}
+	cp.seeds = cp.seeds[:0]
+	maxD := int32(0)
+	next := cp.next[:0]
+	for len(frontier) > 0 {
+		next = next[:0]
+		for _, v := range frontier {
+			d := cp.flipDist[cp.ordOf[v]]
+			for _, l := range cp.out[v] {
+				if l.RouteDead() {
+					continue
+				}
+				u := l.Dst().ID()
+				ord, ok := cp.ordOf[u]
+				if !ok || cp.flipDist[ord] >= 0 {
+					continue
+				}
+				cp.flipDist[ord] = d + 1
+				if d+1 > maxD {
+					maxD = d + 1
+				}
+				next = append(next, u)
+			}
+		}
+		frontier, next = next, frontier
+	}
+	cp.frontier, cp.next = frontier[:0], next[:0]
+	for i := range cp.flipDist {
+		if cp.flipDist[i] < 0 {
+			cp.flipDist[i] = maxD + 1
+		}
+	}
+}
+
+// flushFlips distributes the staged tables: every FIB with a target
+// flips at recompute time plus PerHopDelay per hop of flip distance —
+// inline when that is now (the seeds themselves, or PerHopDelay zero),
+// as a scheduled event otherwise. A switch re-staged while an earlier
+// flip is still in flight moves to this batch's schedule (flipAt); the
+// superseded event fires off-schedule and is ignored, so a fresher
+// table is never installed earlier than its own flip time. Scheduling
+// walks switches in builder order, so the flip sequence is
+// deterministic.
+func (cp *ControlPlane) flushFlips() {
+	now := cp.eng.Now()
+	first, last := sim.Time(-1), sim.Time(-1)
+	for i, f := range cp.fibs {
+		if f.target == nil {
+			continue
+		}
+		at := now + sim.Time(cp.flipDist[i])*cp.cfg.PerHopDelay
+		if first < 0 || at < first {
+			first = at
+		}
+		if at > last {
+			last = at
+		}
+		if at <= now {
+			f.applyFlip()
+			continue
+		}
+		if f.flipAt == at {
+			// Re-staged onto an identical schedule; the event already in
+			// flight for this exact time stays authoritative (flipAt is
+			// only ever set alongside a scheduled event, and a past
+			// flipAt cannot equal a future `at`).
+			continue
+		}
+		f.flipAt = at
+		cp.eng.ScheduleArg(at-now, cp.flipFn, f)
+	}
+	if first >= 0 {
+		cp.stats.FirstFlip, cp.stats.LastFlip = first, last
+	}
 }
 
 // dropEntry removes a cached distance map, recycling its storage.
@@ -438,13 +905,15 @@ func (cp *ControlPlane) bfs(sources []*netem.Link) map[netem.NodeID]int32 {
 	return dist
 }
 
-// reconcile installs or clears the override entry of every switch for
-// destination dst (host index hostIdx), given the live hop distances. A
-// switch whose computed set matches its healthy structural baseline
-// carries no override and falls through to the structural fast path.
-func (cp *ControlPlane) reconcile(hostIdx int, dst netem.NodeID, dist map[netem.NodeID]int32) {
+// reconcile computes the equal-cost set of every switch for destination
+// dst (host index hostIdx), given the live hop distances, and either
+// installs it in place (atomic) or stages it for the switch's scheduled
+// flip (staggered). A switch whose computed set matches its healthy
+// structural baseline carries no override and falls through to the
+// structural fast path.
+func (cp *ControlPlane) reconcile(hostIdx int, dst netem.NodeID, dist map[netem.NodeID]int32, staggered bool) {
 	for i, sw := range cp.net.Switches {
-		t := cp.tables[i]
+		f := cp.fibs[i]
 		var eq []*netem.Link
 		if d, ok := dist[sw.ID()]; ok {
 			for _, l := range cp.out[sw.ID()] {
@@ -463,16 +932,20 @@ func (cp *ControlPlane) reconcile(hostIdx int, dst netem.NodeID, dist map[netem.
 				}
 			}
 		}
+		if staggered {
+			f.stage(dst, eq, cp.healthy[i][hostIdx])
+			continue
+		}
 		if sameLinks(eq, cp.healthy[i][hostIdx]) {
-			if t.override != nil {
-				delete(t.override, dst)
+			if f.override != nil {
+				delete(f.override, dst)
 			}
 			continue
 		}
-		if t.override == nil {
-			t.override = make(map[netem.NodeID][]*netem.Link)
+		if f.override == nil {
+			f.override = make(map[netem.NodeID][]*netem.Link)
 		}
-		t.override[dst] = eq
+		f.override[dst] = eq
 	}
 }
 

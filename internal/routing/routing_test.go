@@ -13,7 +13,11 @@ import (
 // switches) with a control plane installed.
 func buildFatTree(eng *sim.Engine) (*topology.Network, *ControlPlane) {
 	ft := topology.NewFatTree(eng, topology.FatTreeConfig{K: 4, Link: topology.DefaultLinkConfig()})
-	return &ft.Network, Install(eng, &ft.Network)
+	cp, err := Install(eng, &ft.Network, Config{})
+	if err != nil {
+		panic(err)
+	}
+	return &ft.Network, cp
 }
 
 // install wires a fault plan to the control plane the way run.go does.
@@ -144,7 +148,7 @@ func TestRecomputeCoalescing(t *testing.T) {
 
 // cpCleared reports whether every table's override map is empty.
 func cpCleared(cp *ControlPlane) bool {
-	for _, tab := range cp.tables {
+	for _, tab := range cp.fibs {
 		if len(tab.override) != 0 {
 			return false
 		}
@@ -233,7 +237,10 @@ func TestGlobalLivenessAfterFaults(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			eng := sim.NewEngine()
 			net := tc.build(eng)
-			cp := Install(eng, net)
+			cp, err := Install(eng, net, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
 			install(t, eng, net, cp, tc.cfg)
 			eng.RunUntil(100 * sim.Millisecond)
 			if cp.Stats().Recomputes == 0 {
@@ -309,7 +316,10 @@ func TestDumbbellHostLinkOverride(t *testing.T) {
 	eng := sim.NewEngine()
 	d := topology.NewDumbbell(eng, topology.DumbbellConfig{HostsPerSide: 3, Link: topology.DefaultLinkConfig()})
 	net := &d.Network
-	cp := Install(eng, net)
+	cp, err := Install(eng, net, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Host-layer cable 1 (links 2 and 3) is host 1's access pair.
 	install(t, eng, net, cp, faults.Config{Events: []faults.Event{
 		{At: sim.Millisecond, Kind: faults.LinkDown, Layer: netem.LayerHost, Index: 2},
@@ -420,7 +430,10 @@ func TestIncrementalMatchesFullRecompute(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			eng := sim.NewEngine()
 			net := build(eng)
-			cp := Install(eng, net)
+			cp, err := Install(eng, net, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
 			rng := sim.NewRNG(7)
 			dead := make(map[*netem.Link]bool)
 			for round := 0; round < 60; round++ {
@@ -449,6 +462,358 @@ func TestIncrementalMatchesFullRecompute(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestStaggeredFlipsSpreadByDistance drives the per-switch convergence
+// model at unit level. Killing the agg(0,0)<->core0 cable with a 1ms
+// per-hop delay must flip the seeds (agg(0,0), core 0) at recompute
+// time, but the aggregation switches of the other pods — one hop from
+// core 0 — keep serving their stale 2-uplink sets toward pod 0 for
+// another millisecond, with the transient window open exactly that
+// long.
+func TestStaggeredFlipsSpreadByDistance(t *testing.T) {
+	eng := sim.NewEngine()
+	ft := topology.NewFatTree(eng, topology.FatTreeConfig{K: 4, Link: topology.DefaultLinkConfig()})
+	net := &ft.Network
+	cp, err := Install(eng, net, Config{Convergence: Staggered, PerHopDelay: sim.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	install(t, eng, net, cp, faults.Config{
+		Events: faults.FailCables(netem.LayerAgg, 1, 10*sim.Millisecond, 0),
+	})
+	agg10 := net.Switches[8+2*1+0] // pod 1, local index 0: uplinks to cores 0 and 1
+	core0 := net.Switches[16]
+	dstPod0 := net.Hosts[0].ID()
+
+	type probe struct {
+		aggSet, coreSet     int
+		aggStale, coreStale bool
+		coreEpoch           uint64
+		transient           bool
+	}
+	sample := func() probe {
+		avr := agg10.Router().(netem.VersionedRouter)
+		cvr := core0.Router().(netem.VersionedRouter)
+		return probe{
+			aggSet:    len(agg10.Router().NextLinks(dstPod0)),
+			coreSet:   len(core0.Router().NextLinks(dstPod0)),
+			aggStale:  avr.Stale(),
+			coreStale: cvr.Stale(),
+			coreEpoch: cvr.Epoch(),
+			transient: avr.Transient(),
+		}
+	}
+	var during, after probe
+	eng.At(10*sim.Millisecond+sim.Microsecond, func() { during = sample() })
+	eng.At(11*sim.Millisecond+sim.Microsecond, func() { after = sample() })
+	eng.RunUntil(20 * sim.Millisecond)
+
+	// Mid-window: core 0 (a seed, distance 0) flipped inline at
+	// recompute time — its pod-0 set is already the recomputed 3-link
+	// detour down into the other pods and back up via the surviving
+	// cores, its epoch advanced, and it is not stale. agg(1,0) — one
+	// hop out — still serves both uplinks from its old epoch and knows
+	// it is stale.
+	if during.coreEpoch != 1 || during.coreStale {
+		t.Errorf("core 0 mid-window: epoch=%d stale=%t, want flipped at distance 0", during.coreEpoch, during.coreStale)
+	}
+	if during.coreSet != 3 {
+		t.Errorf("core 0 set toward pod 0 mid-window = %d links, want the 3-link detour", during.coreSet)
+	}
+	if during.aggSet != 2 || !during.aggStale || !during.transient {
+		t.Errorf("agg(1,0) mid-window = %+v, want stale 2-link set inside an open window", during)
+	}
+	// Window closed: agg(1,0) converged onto core 1 only.
+	if after.aggSet != 1 || after.aggStale || after.transient {
+		t.Errorf("agg(1,0) after window = %+v, want fresh 1-link set, window closed", after)
+	}
+	st := cp.Stats()
+	if st.FirstFlip != 10*sim.Millisecond || st.LastFlip != 11*sim.Millisecond {
+		t.Errorf("flip spread [%v, %v], want [10ms, 11ms]", st.FirstFlip, st.LastFlip)
+	}
+	if st.TransientTime != sim.Millisecond {
+		t.Errorf("transient window = %v, want 1ms", st.TransientTime)
+	}
+	if st.Flips == 0 {
+		t.Error("no per-switch flips recorded")
+	}
+	if vr := agg10.Router().(netem.VersionedRouter); vr.Epoch() != 1 {
+		t.Errorf("agg(1,0) epoch = %d, want 1 (one applied flip)", vr.Epoch())
+	}
+	// The staggered tables must land exactly where an atomic plane
+	// lands: a forced full rebuild changes nothing.
+	got := snapshotTables(net)
+	ForceFullRecompute = true
+	cp.Recompute()
+	ForceFullRecompute = false
+	if !tablesEqual(got, snapshotTables(net)) {
+		t.Error("staggered tables diverge from a full atomic rebuild after the window closed")
+	}
+}
+
+// TestStaggeredZeroDelayFlipsInline pins the degenerate case the
+// public equivalence suite relies on: with PerHopDelay zero, staggered
+// convergence applies every flip inline at recompute time — no window,
+// no scheduled events, tables bit-identical to atomic.
+func TestStaggeredZeroDelayFlipsInline(t *testing.T) {
+	engA, engS := sim.NewEngine(), sim.NewEngine()
+	ftA := topology.NewFatTree(engA, topology.FatTreeConfig{K: 4, Link: topology.DefaultLinkConfig()})
+	ftS := topology.NewFatTree(engS, topology.FatTreeConfig{K: 4, Link: topology.DefaultLinkConfig()})
+	cpA, err := Install(engA, &ftA.Network, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpS, err := Install(engS, &ftS.Network, Config{Convergence: Staggered})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := faults.Config{Events: faults.FailCables(netem.LayerAgg, 2, 10*sim.Millisecond, 30*sim.Millisecond)}
+	install(t, engA, &ftA.Network, cpA, cfg)
+	install(t, engS, &ftS.Network, cpS, cfg)
+	for _, at := range []sim.Time{20 * sim.Millisecond, 40 * sim.Millisecond} {
+		engA.RunUntil(at)
+		engS.RunUntil(at)
+		// Same link pointers cannot be compared across two networks;
+		// compare set sizes switch by switch, destination by destination.
+		a, s := snapshotTables(&ftA.Network), snapshotTables(&ftS.Network)
+		for i := range a {
+			for j := range a[i] {
+				if len(a[i][j]) != len(s[i][j]) {
+					t.Fatalf("at %v: switch %d dst %d: atomic %d links, staggered-0 %d",
+						at, i, j, len(a[i][j]), len(s[i][j]))
+				}
+			}
+		}
+	}
+	if st := cpS.Stats(); st.TransientTime != 0 {
+		t.Errorf("zero-delay staggered opened a %v transient window", st.TransientTime)
+	}
+}
+
+// TestFlapStormDamping is the hold-down satellite: a cable flapping
+// every millisecond must stop triggering recomputes once it crosses the
+// flap threshold, its pending transitions folding into one deferred
+// rebuild at window expiry — and the final tables must still be exactly
+// right.
+func TestFlapStormDamping(t *testing.T) {
+	eng := sim.NewEngine()
+	ft := topology.NewFatTree(eng, topology.FatTreeConfig{K: 4, Link: topology.DefaultLinkConfig()})
+	net := &ft.Network
+	cp, err := Install(eng, net, Config{HoldDown: 50 * sim.Millisecond, FlapThreshold: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cable 0 at the agg layer flaps down/up every millisecond,
+	// 25 cycles: 50 routing transitions per direction.
+	var events []faults.Event
+	for i := 0; i < 25; i++ {
+		down := sim.Time(10+2*i) * sim.Millisecond
+		events = append(events, cableEvents(faults.LinkDown, down)...)
+		events = append(events, cableEvents(faults.LinkUp, down+sim.Millisecond)...)
+	}
+	install(t, eng, net, cp, faults.Config{Events: events})
+	eng.RunUntil(200 * sim.Millisecond)
+
+	st := cp.Stats()
+	// Undamped, every one of the 50 transition instants would recompute.
+	// With threshold 3 the first three instants rebuild immediately and
+	// everything after defers into the hold-down expiry.
+	if st.Recomputes > 6 {
+		t.Errorf("flap storm caused %d recomputes, want <= 6 (damped)", st.Recomputes)
+	}
+	if st.Recomputes < 4 {
+		t.Errorf("recomputes = %d, want >= 4 (3 immediate + deferred)", st.Recomputes)
+	}
+	if st.Damped < 40 {
+		t.Errorf("only %d transitions damped, want >= 40", st.Damped)
+	}
+	// The cable ended up: tables must be fully healed.
+	if st.Overrides != 0 || !cpCleared(cp) {
+		t.Errorf("overrides = %d after the flapping cable healed, want 0", st.Overrides)
+	}
+	got := snapshotTables(net)
+	ForceFullRecompute = true
+	cp.Recompute()
+	ForceFullRecompute = false
+	if !tablesEqual(got, snapshotTables(net)) {
+		t.Error("damped tables diverge from a full rebuild")
+	}
+}
+
+// TestFlapTrailingWindow pins the damping predicate's exact trailing-
+// window semantics: the link is damped iff more than FlapThreshold
+// transitions landed within the last HoldDown, regardless of where a
+// fixed window would have reset. Transitions at 10/55/58/62/65ms with a
+// 50ms window and threshold 3: the window ending at 62ms holds only
+// three recent transitions (10ms has aged out), but the one ending at
+// 65ms holds four — a resetting counter (restarted at 62ms) would miss
+// it forever.
+func TestFlapTrailingWindow(t *testing.T) {
+	eng := sim.NewEngine()
+	ft := topology.NewFatTree(eng, topology.FatTreeConfig{K: 4, Link: topology.DefaultLinkConfig()})
+	net := &ft.Network
+	cp, err := Install(eng, net, Config{HoldDown: 50 * sim.Millisecond, FlapThreshold: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := net.LinksAtLayer(netem.LayerAgg)[0]
+	for _, at := range []sim.Time{10, 55, 58, 62, 65} {
+		eng.At(at*sim.Millisecond, func() {
+			l.SetRouteDead(!l.RouteDead())
+			cp.Invalidate(l)
+		})
+	}
+	var dampedAt62, dampedAt65 int
+	eng.At(63*sim.Millisecond, func() { dampedAt62 = cp.Stats().Damped })
+	eng.At(66*sim.Millisecond, func() { dampedAt65 = cp.Stats().Damped })
+	eng.RunUntil(200 * sim.Millisecond)
+	if dampedAt62 != 0 {
+		t.Errorf("damped after 62ms = %d, want 0 (only 3 transitions in the trailing window)", dampedAt62)
+	}
+	if dampedAt65 != 1 {
+		t.Errorf("damped after 65ms = %d, want 1 (4 transitions within 50ms)", dampedAt65)
+	}
+}
+
+// TestDampedHostLinkStillReconverges pins the hold-down expiry path for
+// host-incident transitions: a damped host access cable leaves nothing
+// in the switch-to-switch flip log, so the deferred rebuild must key
+// off the recorded seeds — otherwise the fabric keeps forwarding toward
+// a host that died mid-flap forever.
+func TestDampedHostLinkStillReconverges(t *testing.T) {
+	eng := sim.NewEngine()
+	ft := topology.NewFatTree(eng, topology.FatTreeConfig{K: 4, Link: topology.DefaultLinkConfig()})
+	net := &ft.Network
+	cp, err := Install(eng, net, Config{HoldDown: 50 * sim.Millisecond, FlapThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Host 0's access cable (host-layer links 0 and 1) flaps
+	// down/up/down; the third transition per link crosses the threshold
+	// and is damped, and the cable stays dead.
+	hostCable := func(kind faults.Kind, at sim.Time) []faults.Event {
+		return []faults.Event{
+			{At: at, Kind: kind, Layer: netem.LayerHost, Index: 0},
+			{At: at, Kind: kind, Layer: netem.LayerHost, Index: 1},
+		}
+	}
+	var events []faults.Event
+	events = append(events, hostCable(faults.LinkDown, 10*sim.Millisecond)...)
+	events = append(events, hostCable(faults.LinkUp, 11*sim.Millisecond)...)
+	events = append(events, hostCable(faults.LinkDown, 12*sim.Millisecond)...)
+	install(t, eng, net, cp, faults.Config{Events: events})
+	eng.RunUntil(200 * sim.Millisecond)
+
+	st := cp.Stats()
+	if st.Damped == 0 {
+		t.Fatal("the third flap was not damped; scenario exercises nothing")
+	}
+	// The deferred rebuild must have consumed the damped transitions:
+	// nobody forwards toward dead host 0 any more.
+	for _, sw := range net.Switches {
+		if eq := sw.Router().NextLinks(net.Hosts[0].ID()); len(eq) != 0 {
+			t.Fatalf("switch %d still forwards toward dead host 0 after hold-down expiry (%d links)", sw.ID(), len(eq))
+		}
+	}
+	got := snapshotTables(net)
+	ForceFullRecompute = true
+	cp.Recompute()
+	ForceFullRecompute = false
+	if !tablesEqual(got, snapshotTables(net)) {
+		t.Error("tables after the deferred rebuild diverge from a full rebuild")
+	}
+}
+
+// TestRestagedFlipKeepsItsOwnSchedule pins the flip-event supersession
+// rule: when a switch with a flip already in flight is re-staged by a
+// later batch, the new target must land at the new batch's flip time —
+// the superseded event fires off-schedule and must not install the
+// fresher table early.
+func TestRestagedFlipKeepsItsOwnSchedule(t *testing.T) {
+	eng := sim.NewEngine()
+	ft := topology.NewFatTree(eng, topology.FatTreeConfig{K: 4, Link: topology.DefaultLinkConfig()})
+	net := &ft.Network
+	cp, err := Install(eng, net, Config{Convergence: Staggered, PerHopDelay: 5 * sim.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill both directions of the cable between the given switches.
+	kill := func(a, b *netem.Switch) {
+		for _, l := range net.Links {
+			if (l.Src() == a && l.Dst() == b) || (l.Src() == b && l.Dst() == a) {
+				l.SetRouteDead(true)
+				cp.Invalidate(l)
+			}
+		}
+	}
+	agg00, agg10, agg20 := net.Switches[8], net.Switches[10], net.Switches[12]
+	core0, core1 := net.Switches[16], net.Switches[17]
+	// Batch 1 (10ms): agg(0,0)-core0 dies; agg(1,0) sits one hop out, so
+	// its flip is scheduled for 15ms. Batch 2 (12ms): agg(1,0)-core1
+	// dies; agg(1,0) is now a seed and flips inline, leaving the 15ms
+	// event in flight with no target. Batch 3 (13ms): agg(2,0)-core0
+	// dies; agg(1,0) is re-staged with an intended flip at 18ms. The
+	// stale 15ms event must not install that table three milliseconds
+	// early.
+	eng.At(10*sim.Millisecond, func() { kill(agg00, core0) })
+	eng.At(12*sim.Millisecond, func() { kill(agg10, core1) })
+	eng.At(13*sim.Millisecond, func() { kill(agg20, core0) })
+
+	vr := agg10.Router().(netem.VersionedRouter)
+	epochs := make(map[sim.Time]uint64)
+	stale := make(map[sim.Time]bool)
+	for _, at := range []sim.Time{14 * sim.Millisecond, 16 * sim.Millisecond, 19 * sim.Millisecond} {
+		at := at
+		eng.At(at, func() { epochs[at] = vr.Epoch(); stale[at] = vr.Stale() })
+	}
+	eng.RunUntil(30 * sim.Millisecond)
+
+	if epochs[14*sim.Millisecond] != 1 {
+		t.Fatalf("epoch at 14ms = %d, want 1 (batch-2 inline flip)", epochs[14*sim.Millisecond])
+	}
+	if !stale[14*sim.Millisecond] {
+		t.Fatal("agg(1,0) not stale at 14ms despite the batch-3 restage")
+	}
+	if epochs[16*sim.Millisecond] != 1 {
+		t.Errorf("epoch at 16ms = %d, want 1 — the superseded 15ms event installed the batch-3 table early", epochs[16*sim.Millisecond])
+	}
+	if epochs[19*sim.Millisecond] != 2 || stale[19*sim.Millisecond] {
+		t.Errorf("epoch at 19ms = %d (stale=%t), want 2 and fresh (flip landed at its own 18ms schedule)",
+			epochs[19*sim.Millisecond], stale[19*sim.Millisecond])
+	}
+}
+
+// cableEvents mirrors faults.cableEvents for cable 0 at the agg layer.
+func cableEvents(kind faults.Kind, at sim.Time) []faults.Event {
+	return []faults.Event{
+		{At: at, Kind: kind, Layer: netem.LayerAgg, Index: 0},
+		{At: at, Kind: kind, Layer: netem.LayerAgg, Index: 1},
+	}
+}
+
+// TestInstallValidation rejects malformed convergence configs.
+func TestInstallValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	ft := topology.NewFatTree(eng, topology.FatTreeConfig{K: 4, Link: topology.DefaultLinkConfig()})
+	bad := []Config{
+		{PerHopDelay: -sim.Millisecond},
+		{HoldDown: -sim.Millisecond},
+		{FlapThreshold: -1},
+		{FlapThreshold: 3}, // threshold without a damping window does nothing
+		{Convergence: "quantum"},
+	}
+	for _, cfg := range bad {
+		if _, err := Install(eng, &ft.Network, cfg); err == nil {
+			t.Errorf("Install accepted %+v", cfg)
+		}
+	}
+	if _, err := ParseConvergence("staggered"); err != nil {
+		t.Errorf("ParseConvergence rejected staggered: %v", err)
+	}
+	if got, err := ParseConvergence(""); err != nil || got != Atomic {
+		t.Errorf("ParseConvergence(\"\") = %v, %v; want atomic", got, err)
 	}
 }
 

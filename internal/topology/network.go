@@ -275,31 +275,56 @@ func buildECMPTables(n *Network) {
 // the generic path-count oracle (and as the reference the FatTree formula
 // is tested against). The count follows the ECMP DAG, so it reflects the
 // paths packets can actually take.
+//
+// The walk must tolerate cycles: under staggered convergence the
+// switches momentarily disagree about the tables (each FIB flips at its
+// own time), and a stale switch can point back at one that already
+// flipped — the forwarding micro-loop the data plane counts as
+// LoopDrops. A node revisited while still on the DFS stack contributes
+// zero paths (a loop is not a way to the destination) instead of
+// recursing forever.
 func countShortestPaths(n *Network, src, dst netem.NodeID) int {
 	if src == dst {
 		return 1
 	}
 	// The first hop from a host is its uplink(s); afterwards, follow
-	// each switch's equal-cost set. Memoised DFS over the DAG.
+	// each switch's equal-cost set. Memoised DFS; inProgress marks nodes
+	// on the active stack so transient routing cycles terminate. A count
+	// computed beneath a cycle is stack-dependent (it excluded whatever
+	// ancestors happened to be in progress), so it is returned but NOT
+	// memoised — only cycle-free subgraphs cache, which keeps the walk
+	// exact on mixed-epoch tables at the cost of re-visiting the few
+	// nodes that can reach a loop.
+	const inProgress = -1
 	memo := make(map[netem.NodeID]int)
-	var visit func(id netem.NodeID) int
-	visit = func(id netem.NodeID) int {
+	var visit func(id netem.NodeID) (int, bool)
+	visit = func(id netem.NodeID) (int, bool) {
 		if id == dst {
-			return 1
+			return 1, false
 		}
 		if v, ok := memo[id]; ok {
-			return v
+			if v == inProgress {
+				return 0, true
+			}
+			return v, false
 		}
 		r, ok := n.routers[id]
 		if !ok {
-			return 0
+			return 0, false
 		}
-		total := 0
+		memo[id] = inProgress
+		total, tainted := 0, false
 		for _, l := range r.NextLinks(dst) {
-			total += visit(l.Dst().ID())
+			c, t := visit(l.Dst().ID())
+			total += c
+			tainted = tainted || t
 		}
-		memo[id] = total
-		return total
+		if tainted {
+			delete(memo, id)
+		} else {
+			memo[id] = total
+		}
+		return total, tainted
 	}
 	total := 0
 	for _, up := range n.Hosts[src].Uplinks() {
@@ -308,7 +333,8 @@ func countShortestPaths(n *Network, src, dst netem.NodeID) int {
 		if up.RouteDead() {
 			continue
 		}
-		total += visit(up.Dst().ID())
+		c, _ := visit(up.Dst().ID())
+		total += c
 	}
 	return total
 }

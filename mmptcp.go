@@ -60,6 +60,45 @@ const (
 	TopoVL2        TopologyKind = "vl2"        // VL2-style Clos with a 10x fabric
 )
 
+// RoutingConfig is the routing section of Config: which repair model
+// runs under failures and how recomputed tables reach the switches.
+// The zero value is the PR-2 baseline — local repair, atomic flips.
+type RoutingConfig struct {
+	// Mode selects the repair model. RoutingLocal (the default) is
+	// link-local reconvergence: each switch stops using its own dead
+	// links but upstream ECMP stays oblivious, so traffic keeps hashing
+	// onto next hops with no way forward (NoRouteDrops). RoutingGlobal
+	// installs the control plane that recomputes global reachability
+	// after each reconvergence-delayed link state change and steers ECMP
+	// around unreachable next hops.
+	Mode RoutingMode
+
+	// Convergence picks how the control plane's recomputed tables reach
+	// the switches: ConvergeAtomic (default) flips every switch at
+	// recompute time; ConvergeStaggered gives each switch its own FIB
+	// flip time — recompute time plus PerHopDelay per hop from the
+	// nearest failed element — opening the micro-loop and transient-
+	// blackhole window real control planes exhibit (accounted in
+	// Results.Routing and Results.LoopDrops). Staggered convergence
+	// requires Mode RoutingGlobal.
+	Convergence ConvergenceMode
+	// PerHopDelay is the staggered flip delay per hop of distance from
+	// the transition; zero makes staggered degenerate to atomic exactly.
+	// Must not be negative.
+	PerHopDelay SimTime
+
+	// HoldDown enables flap damping in the control plane: a link whose
+	// routing state transitions more than FlapThreshold times within
+	// this trailing window stops triggering immediate recomputes; its
+	// pending flips fold into one deferred rebuild at window expiry.
+	// Zero disables damping.
+	HoldDown SimTime
+	// FlapThreshold is the number of transitions inside one hold-down
+	// window a link may make before it is damped; defaults to 3 when
+	// HoldDown is set.
+	FlapThreshold int
+}
+
 // Config describes one experiment. The zero value is not runnable; use
 // PaperConfig or SmallConfig as starting points, or fill the required
 // fields (Protocol, ShortFlows, ArrivalRate).
@@ -125,16 +164,11 @@ type Config struct {
 	// the section unchanged. See FaultsConfig and FailCables.
 	Faults FaultsConfig
 
-	// Routing selects the repair model under failures. RoutingLocal (the
-	// default) is link-local reconvergence: each switch stops using its
-	// own dead links but upstream ECMP stays oblivious, so traffic keeps
-	// hashing onto next hops with no way forward (NoRouteDrops).
-	// RoutingGlobal installs the control plane that recomputes global
-	// reachability after each reconvergence-delayed link state change
-	// and steers ECMP around unreachable next hops. Irrelevant on a
-	// healthy network: the control plane is only installed when Faults
-	// is active, so the healthy hot path is identical in both modes.
-	Routing RoutingMode
+	// Routing selects the repair and convergence model under failures;
+	// see RoutingConfig. Irrelevant on a healthy network: the control
+	// plane is only installed when Faults is active, so the healthy hot
+	// path is identical in every mode.
+	Routing RoutingConfig
 
 	// Control.
 	Seed       uint64
@@ -220,12 +254,48 @@ func (c *Config) applyDefaults() error {
 	default:
 		return fmt.Errorf("mmptcp: unknown protocol %q", c.Protocol)
 	}
-	mode, err := routing.ParseMode(string(c.Routing))
+	mode, err := routing.ParseMode(string(c.Routing.Mode))
 	if err != nil {
 		return fmt.Errorf("mmptcp: %w", err)
 	}
-	c.Routing = mode
+	c.Routing.Mode = mode
+	conv, err := routing.ParseConvergence(string(c.Routing.Convergence))
+	if err != nil {
+		return fmt.Errorf("mmptcp: %w", err)
+	}
+	c.Routing.Convergence = conv
+	// The value-level rules (negative delays, threshold without window,
+	// per-hop delay under atomic) live in one place: routing.Config.
+	// Checking here — not only at Install — rejects a bad section even
+	// on runs that never install a control plane.
+	if err := c.routingConfig().Validate(); err != nil {
+		return fmt.Errorf("mmptcp: %w", err)
+	}
+	// The cross-field rules involving Mode are mmptcp's: everything the
+	// control plane implements needs the control plane installed.
+	if mode != RoutingGlobal {
+		if conv == ConvergeStaggered {
+			return fmt.Errorf("mmptcp: staggered convergence requires Routing.Mode %q (local repair has no control plane to stage)", RoutingGlobal)
+		}
+		if c.Routing.HoldDown > 0 {
+			return fmt.Errorf("mmptcp: Routing.HoldDown requires Routing.Mode %q (local repair has no control plane to damp)", RoutingGlobal)
+		}
+	}
+	if c.Faults.ReconvergeDelay < 0 {
+		return fmt.Errorf("mmptcp: negative Faults.ReconvergeDelay %v", c.Faults.ReconvergeDelay)
+	}
 	return nil
+}
+
+// routingConfig translates the public routing section into the control
+// plane's own config (shared by validation and Install-time wiring).
+func (c *Config) routingConfig() routing.Config {
+	return routing.Config{
+		Convergence:   routing.Convergence(c.Routing.Convergence),
+		PerHopDelay:   c.Routing.PerHopDelay,
+		HoldDown:      c.Routing.HoldDown,
+		FlapThreshold: c.Routing.FlapThreshold,
+	}
 }
 
 // validateWorkload checks the fields only Run needs.

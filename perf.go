@@ -45,6 +45,18 @@ func ChurnBenchConfig(mode RoutingMode, quick bool) Config {
 		},
 		ReconvergeDelay: 10 * Millisecond,
 	}
-	cfg.Routing = mode
+	cfg.Routing.Mode = mode
+	return cfg
+}
+
+// StaggeredChurnBenchConfig is the tracked staggered-convergence
+// scenario: ChurnBenchConfig's churn under global routing with
+// per-switch FIB flips spread 2ms per hop from each failure, so the
+// scheduling overhead (flip events, staged tables, window accounting)
+// is measured against the atomic churn baseline on the same workload.
+func StaggeredChurnBenchConfig(quick bool) Config {
+	cfg := ChurnBenchConfig(RoutingGlobal, quick)
+	cfg.Routing.Convergence = ConvergeStaggered
+	cfg.Routing.PerHopDelay = 2 * Millisecond
 	return cfg
 }

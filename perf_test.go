@@ -20,7 +20,7 @@ func incrementalFaultSuite() []Config {
 		Events:          FailCables(LayerAgg, 2, 150*Millisecond, 900*Millisecond),
 		ReconvergeDelay: 20 * Millisecond,
 	}
-	cables.Routing = RoutingGlobal
+	cables.Routing.Mode = RoutingGlobal
 	configs = append(configs, cables)
 
 	crash := tiny(ProtoTCP, 40)
@@ -29,7 +29,7 @@ func incrementalFaultSuite() []Config {
 		Events:          FailSwitches([]int{16}, 200*Millisecond, 800*Millisecond),
 		ReconvergeDelay: 10 * Millisecond,
 	}
-	crash.Routing = RoutingGlobal
+	crash.Routing.Mode = RoutingGlobal
 	configs = append(configs, crash)
 
 	model := tiny(ProtoMMPTCP, 40)
@@ -42,7 +42,7 @@ func incrementalFaultSuite() []Config {
 		},
 		ReconvergeDelay: 10 * Millisecond,
 	}
-	model.Routing = RoutingGlobal
+	model.Routing.Mode = RoutingGlobal
 	configs = append(configs, model)
 
 	return configs
@@ -102,7 +102,7 @@ func TestChurnRecomputeSavings(t *testing.T) {
 		},
 		ReconvergeDelay: 5 * Millisecond,
 	}
-	cfg.Routing = RoutingGlobal
+	cfg.Routing.Mode = RoutingGlobal
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)

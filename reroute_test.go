@@ -22,7 +22,7 @@ func repairConfig(proto Protocol, flows int, mode RoutingMode) Config {
 		Events:          FailCables(LayerAgg, 2, 150*Millisecond, 2500*Millisecond),
 		ReconvergeDelay: 25 * Millisecond,
 	}
-	cfg.Routing = mode
+	cfg.Routing.Mode = mode
 	return cfg
 }
 
@@ -92,7 +92,7 @@ func TestGlobalRoutingSweepDeterminism(t *testing.T) {
 				Events:          FailCables(LayerAgg, 2, 150*Millisecond, 900*Millisecond),
 				ReconvergeDelay: 20 * Millisecond,
 			}
-			cfg.Routing = mode
+			cfg.Routing.Mode = mode
 			configs = append(configs, cfg)
 
 			crash := tiny(ProtoTCP, 40)
@@ -101,7 +101,7 @@ func TestGlobalRoutingSweepDeterminism(t *testing.T) {
 				Events:          FailSwitches([]int{16}, 200*Millisecond, 800*Millisecond),
 				ReconvergeDelay: 10 * Millisecond,
 			}
-			crash.Routing = mode
+			crash.Routing.Mode = mode
 			configs = append(configs, crash)
 
 			model := tiny(ProtoMMPTCP, 40)
@@ -114,7 +114,7 @@ func TestGlobalRoutingSweepDeterminism(t *testing.T) {
 				},
 				ReconvergeDelay: 10 * Millisecond,
 			}
-			model.Routing = mode
+			model.Routing.Mode = mode
 			configs = append(configs, model)
 		}
 		return configs
@@ -213,7 +213,7 @@ func TestLivePathCountUnderFailure(t *testing.T) {
 // TestRoutingModeValidation rejects unknown modes up front.
 func TestRoutingModeValidation(t *testing.T) {
 	cfg := tiny(ProtoTCP, 1)
-	cfg.Routing = "quantum"
+	cfg.Routing.Mode = "quantum"
 	if _, err := Run(cfg); err == nil {
 		t.Fatal("Run accepted an unknown routing mode")
 	}

@@ -53,8 +53,13 @@ type Results struct {
 	// relative to the local baseline.
 	NoRouteDrops int64
 	// HopDrops counts packets discarded by the switches' hop-count
-	// routing-loop backstop.
-	HopDrops int64
+	// routing-loop backstop outside any convergence transient —
+	// steady-state hop-limit noise. LoopDrops is the first-class count
+	// of backstop drops that fell inside an open staggered-convergence
+	// window, where switches disagreeing about the tables is what breeds
+	// forwarding micro-loops; identically zero under atomic convergence.
+	HopDrops  int64
+	LoopDrops int64
 	// FaultEvents is the number of scheduled network mutations in the
 	// run's resolved fault plan (explicit events plus model samples).
 	FaultEvents int
@@ -128,11 +133,16 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 		// routing, MMPTCP's duplicate-ACK threshold derives from the
 		// live ECMP DAG instead of the static topology formula.
 		net.SetDegraded(faultPlan.Degraded)
-		if cfg.Routing == RoutingGlobal {
-			// Global repair: wrap every router with the control plane's
-			// override tables and rebuild them (coalesced) on each
-			// reconvergence-delayed link state change.
-			controlPlane = routing.Install(eng, net)
+		if cfg.Routing.Mode == RoutingGlobal {
+			// Global repair: wrap every router with a per-switch FIB and
+			// rebuild the override tables (coalesced) on each
+			// reconvergence-delayed link state change. Staggered
+			// convergence and flap damping are the control plane's own
+			// knobs.
+			controlPlane, err = routing.Install(eng, net, cfg.routingConfig())
+			if err != nil {
+				return nil, err
+			}
 			faultPlan.OnRouteChange = controlPlane.Invalidate
 		}
 	}
@@ -286,13 +296,17 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	for _, sw := range net.Switches {
 		res.NoRouteDrops += sw.NoRoute
 		res.HopDrops += sw.Dropped
+		res.LoopDrops += sw.LoopDrops
 		res.SwitchCrashes += sw.Crashes
 		res.CrashDrops += sw.CrashDrops
+		res.Routing.TransientNoRoute += sw.TransientNoRoute
+		res.Routing.StaleLookups += sw.StaleLookups
 	}
 	if faultPlan != nil {
 		res.FaultEvents = len(faultPlan.Events)
 	}
-	res.Routing.Mode = string(cfg.Routing)
+	res.Routing.Mode = string(cfg.Routing.Mode)
+	res.Routing.Convergence = string(cfg.Routing.Convergence)
 	if controlPlane != nil {
 		st := controlPlane.Stats()
 		res.Routing.Recomputes = st.Recomputes
@@ -301,6 +315,11 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 		res.Routing.DstRecomputed = st.DstRecomputed
 		res.Routing.DstSkipped = st.DstSkipped
 		res.Routing.BFSRuns = st.BFSRuns
+		res.Routing.Flips = st.Flips
+		res.Routing.FirstFlip = st.FirstFlip
+		res.Routing.LastFlip = st.LastFlip
+		res.Routing.TransientTime = st.TransientTime
+		res.Routing.Damped = st.Damped
 	}
 	return res, nil
 }
