@@ -73,6 +73,7 @@ func main() {
 	engineThroughput(*quick, add)
 	churnRecompute(*quick, add)
 	staggeredChurn(*quick, add)
+	sweepScale(*quick, add)
 	microBenches(add)
 
 	f := File{
@@ -202,6 +203,108 @@ func staggeredChurn(quick bool, add addFunc) {
 		"dst_recomputed": float64(last.Routing.DstRecomputed),
 		"dst_skipped":    float64(last.Routing.DstSkipped),
 	})
+}
+
+// sweepScale tracks the memory discipline of replicate sweeps
+// (mmptcp.SweepScaleBenchConfig — one Shape, many seeds):
+//
+//   - setup-unpooled / setup-pooled: per-replicate setup cost as a fresh
+//     engine+network build vs a pooled instance reset. setup-pooled's
+//     setup_allocs_ratio (unpooled allocs / pooled allocs, with a floor
+//     of 1 alloc in the denominator since the reset path allocates
+//     nothing in steady state) is the pooling win CI guards at >= 10x.
+//   - run-exact / run-streaming: one full run in each metrics mode, with
+//     per_flow_bytes = allocated bytes / short flows, tracking the
+//     per-flow memory the streaming mode exists to shed.
+//   - sweep-unpooled / sweep-pooled: the end-to-end replicate sweep
+//     through mmptcp.RunSweep with SweepOptions.Pool off and on.
+func sweepScale(quick bool, add addFunc) {
+	cfg := mmptcp.SweepScaleBenchConfig(quick)
+
+	brBuild := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := mmptcp.NewRunInstance(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("sweep-scale/setup-unpooled", brBuild, nil)
+
+	inst, err := mmptcp.NewRunInstance(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	brReset := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		rcfg := cfg
+		for i := 0; i < b.N; i++ {
+			rcfg.Seed = uint64(i + 1) // exercise the per-seed ECMP rekeying
+			if err := inst.Reset(rcfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	pooledAllocs := brReset.AllocsPerOp()
+	denom := pooledAllocs
+	if denom < 1 {
+		denom = 1
+	}
+	add("sweep-scale/setup-pooled", brReset, map[string]float64{
+		"setup_allocs_ratio": float64(brBuild.AllocsPerOp()) / float64(denom),
+	})
+
+	flows := float64(cfg.ShortFlows)
+	brExact := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := mmptcp.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("sweep-scale/run-exact", brExact, map[string]float64{
+		"per_flow_bytes": float64(brExact.AllocedBytesPerOp()) / flows,
+	})
+	streamCfg := cfg
+	streamCfg.Metrics.Mode = mmptcp.MetricsStreaming
+	brStream := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := mmptcp.Run(streamCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("sweep-scale/run-streaming", brStream, map[string]float64{
+		"per_flow_bytes": float64(brStream.AllocedBytesPerOp()) / flows,
+	})
+
+	reps := 8
+	if quick {
+		reps = 4
+	}
+	configs := make([]mmptcp.Config, reps)
+	for i := range configs {
+		configs[i] = cfg
+		configs[i].Seed = uint64(i + 1)
+	}
+	for _, pooled := range []bool{false, true} {
+		name := "sweep-scale/sweep-unpooled"
+		if pooled {
+			name = "sweep-scale/sweep-pooled"
+		}
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := mmptcp.RunSweep(configs, mmptcp.SweepOptions{Pool: pooled}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		add(name, br, map[string]float64{"replicates": float64(reps)})
+	}
 }
 
 // microBenches are the two allocation-free hot paths the regression

@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	figures -fig 1a|1b|1c|stats|switch|load|hotspot|multihomed|coexist|failure|repair|transient|all
+//	figures -fig 1a|1b|1c|stats|switch|load|hotspot|multihomed|coexist|failure|repair|transient|timeline|all
 //	        [-scale tiny|small|medium|paper] [-flows N] [-seed S] [-csv]
-//	        [-workers N]
+//	        [-workers N] [-pool]
 //
 // Scales:
 //
@@ -40,12 +40,13 @@ import (
 )
 
 var (
-	figFlag     = flag.String("fig", "all", "artefact to regenerate: 1a, 1b, 1c, stats, switch, load, hotspot, multihomed, coexist, dupthresh, threshold, dctcp, incast, failure, repair, transient, all")
+	figFlag     = flag.String("fig", "all", "artefact to regenerate: 1a, 1b, 1c, stats, switch, load, hotspot, multihomed, coexist, dupthresh, threshold, dctcp, incast, failure, repair, transient, timeline, all")
 	scaleFlag   = flag.String("scale", "small", "experiment scale: tiny, small, medium, paper")
 	flowsFlag   = flag.Int("flows", 0, "override the number of short flows")
 	seedFlag    = flag.Uint64("seed", 1, "random seed")
 	csvFlag     = flag.Bool("csv", false, "emit per-flow CSV instead of tables where applicable")
 	workersFlag = flag.Int("workers", 0, "max concurrent experiments (0 = all CPUs, 1 = serial)")
+	poolFlag    = flag.Bool("pool", false, "recycle run instances across same-shape configs in every scan (tables are byte-identical either way)")
 )
 
 func main() {
@@ -83,6 +84,8 @@ func main() {
 		repair()
 	case "transient":
 		transient()
+	case "timeline":
+		timeline()
 	case "all":
 		fig1a()
 		fig1bc(mmptcp.ProtoMPTCP, "1b")
@@ -100,6 +103,7 @@ func main() {
 		failure()
 		repair()
 		transient()
+		timeline()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *figFlag)
 		os.Exit(2)
@@ -159,6 +163,7 @@ func run(cfg mmptcp.Config) *mmptcp.Results {
 func sweep(configs []mmptcp.Config) []*mmptcp.Results {
 	results, err := mmptcp.RunSweep(configs, mmptcp.SweepOptions{
 		Workers: *workersFlag,
+		Pool:    *poolFlag,
 		OnResult: func(done, total, index int) {
 			fmt.Fprintf(os.Stderr, "sweep: %d/%d experiments done\n", done, total)
 		},
@@ -668,6 +673,50 @@ func transient() {
 			res.Routing.Flips)
 	}
 	fmt.Println()
+}
+
+// timeline demonstrates the rolling Results snapshots: one MMPTCP run
+// under a mid-run cable cut with global repair, streaming metrics and
+// periodic snapshots, printed as the percentile trajectory the paper's
+// steady-state plots would be cut from. The cumulative drop and
+// recompute columns localise the damage to the outage window.
+func timeline() {
+	cfg := baseConfig(mmptcp.ProtoMMPTCP)
+	// Stranded flows surface as deadline misses rather than wall time.
+	if cfg.MaxSimTime == 0 || cfg.MaxSimTime > 60*sim.Second {
+		cfg.MaxSimTime = 60 * sim.Second
+	}
+	cfg.Faults = mmptcp.FaultsConfig{
+		Events:          mmptcp.FailCables(mmptcp.LayerAgg, 2, 200*sim.Millisecond, 900*sim.Millisecond),
+		ReconvergeDelay: 10 * sim.Millisecond,
+	}
+	cfg.Routing.Mode = mmptcp.RoutingGlobal
+	cfg.Metrics = mmptcp.MetricsConfig{
+		Mode:             mmptcp.MetricsStreaming,
+		SnapshotInterval: 100 * sim.Millisecond,
+	}
+	res := run(cfg)
+	if *csvFlag {
+		fmt.Println("# Roadmap: rolling snapshot timeline (MMPTCP, 2 agg-core cables cut at 200ms)")
+		fmt.Println("t_ms,spawned,done,p50_ms,p95_ms,p99_ms,blackholed,noroute,recomputes")
+		for _, sn := range res.Snapshots {
+			fmt.Printf("%.0f,%d,%d,%.3f,%.3f,%.3f,%d,%d,%d\n",
+				sn.At.Milliseconds(), sn.Spawned, sn.Short.Count,
+				sn.Short.P50Ms, sn.Short.P95Ms, sn.Short.P99Ms,
+				sn.Blackholed, sn.NoRouteDrops, sn.Recomputes)
+		}
+		return
+	}
+	fmt.Println("== Roadmap: rolling snapshot timeline (MMPTCP, 2 agg-core cables cut at 200ms, repaired at 900ms, streaming metrics) ==")
+	fmt.Println("    t_ms  spawned   done  p50_ms  p95_ms  p99_ms  blackholed  noroute  recomputes")
+	for _, sn := range res.Snapshots {
+		fmt.Printf("%8.0f  %7d  %5d  %6.1f  %6.1f  %6.1f  %10d  %7d  %10d\n",
+			sn.At.Milliseconds(), sn.Spawned, sn.Short.Count,
+			sn.Short.P50Ms, sn.Short.P95Ms, sn.Short.P99Ms,
+			sn.Blackholed, sn.NoRouteDrops, sn.Recomputes)
+	}
+	fmt.Printf("final (%d-bit streaming histogram): %v\n\n",
+		res.Config.Metrics.HistPrecision, res.ShortSummary)
 }
 
 // coexist shares one dumbbell bottleneck among a TCP flow, an MPTCP

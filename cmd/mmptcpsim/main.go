@@ -74,6 +74,10 @@ func main() {
 		maxSimS  = flag.Float64("max-sim-seconds", 300, "virtual-time safety cap")
 		perflow  = flag.Bool("perflow", false, "emit per-flow CSV to stdout")
 		quiet    = flag.Bool("q", false, "suppress the report (useful with -perflow)")
+		metricsM = flag.String("metrics", "exact", "measurement accumulation: exact (per-flow records) or streaming (O(1)-memory histograms)")
+		histPrec = flag.Int("hist-precision", 0, "streaming histogram sub-bucket bits, percentile error <= 2^-bits (0 = default 10)")
+		snapMs   = flag.Float64("snapshot-ms", 0, "record a cumulative snapshot every this many milliseconds of virtual time (0 = off)")
+		poolInst = flag.Bool("pool", false, "recycle run instances across replicates sharing a shape (requires -seeds > 1)")
 	)
 	flag.Parse()
 
@@ -95,6 +99,11 @@ func main() {
 		HotspotHost:     *hotHost,
 		Seed:            *seed,
 		MaxSimTime:      sim.FromSeconds(*maxSimS),
+		Metrics: mmptcp.MetricsConfig{
+			Mode:             mmptcp.MetricsMode(*metricsM),
+			HistPrecision:    *histPrec,
+			SnapshotInterval: sim.FromSeconds(*snapMs / 1000),
+		},
 	}
 	switch *strategy {
 	case "data-volume":
@@ -122,6 +131,7 @@ func main() {
 		{"-perhop-ms", *perhopMs},
 		{"-holddown-ms", *holdMs},
 		{"-max-sim-seconds", *maxSimS},
+		{"-snapshot-ms", *snapMs},
 	} {
 		if check.value < 0 {
 			fmt.Fprintf(os.Stderr, "%s must not be negative (got %v)\n", check.name, check.value)
@@ -130,6 +140,18 @@ func main() {
 	}
 	if *flapThr < 0 {
 		fmt.Fprintf(os.Stderr, "-flap-threshold must not be negative (got %d)\n", *flapThr)
+		os.Exit(2)
+	}
+	if *histPrec < 0 {
+		fmt.Fprintf(os.Stderr, "-hist-precision must not be negative (got %d); 0 selects the default\n", *histPrec)
+		os.Exit(2)
+	}
+	if *perflow && mmptcp.MetricsMode(*metricsM) == mmptcp.MetricsStreaming {
+		fmt.Fprintln(os.Stderr, "-perflow needs -metrics exact: streaming mode keeps no per-flow records")
+		os.Exit(2)
+	}
+	if *poolInst && *seeds <= 1 {
+		fmt.Fprintln(os.Stderr, "-pool recycles instances across a replicate sweep; add -seeds N > 1")
 		os.Exit(2)
 	}
 	cfg.Routing = mmptcp.RoutingConfig{
@@ -201,7 +223,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-perflow is a single-run report; drop -seeds or -perflow")
 			os.Exit(2)
 		}
-		replicate(cfg, *seeds, *workers, *seed)
+		replicate(cfg, *seeds, *workers, *seed, *poolInst)
 		return
 	}
 
@@ -229,7 +251,7 @@ func main() {
 // replicate runs n copies of cfg under seeds derived from base via
 // independent RNG streams, in parallel, and reports each replicate plus
 // across-replicate aggregates.
-func replicate(cfg mmptcp.Config, n, workers int, base uint64) {
+func replicate(cfg mmptcp.Config, n, workers int, base uint64, pool bool) {
 	configs := make([]mmptcp.Config, n)
 	for i := range configs {
 		configs[i] = cfg
@@ -240,6 +262,7 @@ func replicate(cfg mmptcp.Config, n, workers int, base uint64) {
 	start := time.Now()
 	results, err := mmptcp.RunSweep(configs, mmptcp.SweepOptions{
 		Workers: workers,
+		Pool:    pool,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -309,6 +332,16 @@ func report(res *mmptcp.Results, wall time.Duration) {
 	if len(fcts) > 0 {
 		fmt.Printf("  fct quartiles: %.1f / %.1f / %.1f ms\n",
 			fcts[len(fcts)/4], fcts[len(fcts)/2], fcts[3*len(fcts)/4])
+	}
+
+	if len(res.Snapshots) > 0 {
+		fmt.Println("\nsnapshots (cumulative):")
+		fmt.Println("      t_ms  spawned  done  p50_ms  p99_ms  blackholed  noroute  recomputes")
+		for _, sn := range res.Snapshots {
+			fmt.Printf("  %8.0f  %7d  %5d  %6.1f  %6.1f  %10d  %7d  %10d\n",
+				sn.At.Milliseconds(), sn.Spawned, sn.Short.Count, sn.Short.P50Ms,
+				sn.Short.P99Ms, sn.Blackholed, sn.NoRouteDrops, sn.Recomputes)
+		}
 	}
 
 	fmt.Printf("\nlong flows (%d):\n  mean goodput %.2f Mb/s\n", len(res.LongFlows), res.LongThroughputMbps)

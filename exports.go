@@ -28,6 +28,9 @@ type (
 	FlowRecord = metrics.FlowRecord
 	// Summary is aggregate FCT statistics.
 	Summary = metrics.Summary
+	// Snapshot is one periodic sample of a run's cumulative state (see
+	// Results.Snapshots and MetricsConfig.SnapshotInterval).
+	Snapshot = metrics.Snapshot
 	// Assignment is a workload role/partner assignment.
 	Assignment = workload.Assignment
 	// IncastBurst schedules an n-to-1 burst of flows.

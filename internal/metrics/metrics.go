@@ -163,13 +163,21 @@ func Summarize(recs []FlowRecord) Summary {
 	return s
 }
 
-// percentile interpolates the p-quantile of sorted values.
+// percentile interpolates the p-quantile of sorted values. Edge cases
+// are defined rather than surprising: an empty slice yields 0, a single
+// element is every quantile of itself, and p outside [0, 1] (or NaN) is
+// clamped to the nearest valid quantile.
 func percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}
 	if len(sorted) == 1 {
 		return sorted[0]
+	}
+	if p < 0 || math.IsNaN(p) {
+		p = 0
+	} else if p > 1 {
+		p = 1
 	}
 	pos := p * float64(len(sorted)-1)
 	lo := int(math.Floor(pos))
@@ -323,20 +331,37 @@ func LayerReport(links []*netem.Link, elapsed sim.Time) map[netem.Layer]LayerSta
 }
 
 // Histogram buckets FCTs for a text rendering of the paper's scatter
-// plots (Figures 1(b) and 1(c)).
+// plots (Figures 1(b) and 1(c)). Bounds must be ascending; values above
+// the last bound land in a dedicated overflow bucket, values below zero
+// (or NaN milliseconds) in Underflow — outside-the-bounds observations
+// are always defined and never silently skew Fractions.
 type Histogram struct {
 	BoundsMs []float64 // upper bounds; one extra overflow bucket
 	Counts   []int
+	// Underflow counts observations that precede every bucket: negative
+	// FCTs (a malformed record) and NaNs. They are excluded from
+	// Fractions — the in-range shares still describe the valid mass —
+	// but visible here so a skewed input cannot hide.
+	Underflow int
 }
 
-// NewFCTHistogram builds a histogram with the given millisecond bounds.
+// NewFCTHistogram builds a histogram with the given millisecond bounds,
+// sorted ascending (the bucket semantics require it; sorting here makes
+// caller-supplied literals order-independent).
 func NewFCTHistogram(boundsMs ...float64) *Histogram {
+	sort.Float64s(boundsMs)
 	return &Histogram{BoundsMs: boundsMs, Counts: make([]int, len(boundsMs)+1)}
 }
 
-// Observe adds one completed flow.
+// Observe adds one completed flow. Out-of-range values are defined:
+// negative and NaN durations count in Underflow, anything above the last
+// bound in the overflow bucket.
 func (h *Histogram) Observe(fct sim.Time) {
 	ms := fct.Milliseconds()
+	if ms < 0 || math.IsNaN(ms) {
+		h.Underflow++
+		return
+	}
 	for i, b := range h.BoundsMs {
 		if ms <= b {
 			h.Counts[i]++
@@ -346,7 +371,8 @@ func (h *Histogram) Observe(fct sim.Time) {
 	h.Counts[len(h.Counts)-1]++
 }
 
-// Fractions returns each bucket's share of the total.
+// Fractions returns each bucket's share of the in-range total (underflow
+// excluded; see Underflow). An empty histogram returns all zeros.
 func (h *Histogram) Fractions() []float64 {
 	total := 0
 	for _, c := range h.Counts {

@@ -95,6 +95,18 @@ func (h *Host) Unregister(flowID uint64, subflow int8) {
 	delete(h.endpoints, endpointKey{flowID, subflow})
 }
 
+// Reset clears endpoint registrations and statistics for run-instance
+// reuse. Transports unregister themselves on Close, so after a completed
+// run the endpoint map is already empty; clearing it here makes reuse
+// safe even after a run aborted mid-flight (context cancellation).
+func (h *Host) Reset() {
+	clear(h.endpoints)
+	h.RxPackets = 0
+	h.RxBytes = 0
+	h.TxPackets = 0
+	h.Unclaimed = 0
+}
+
 // Send transmits a packet out of the host's default interface.
 func (h *Host) Send(p *Packet) { h.SendOn(p, 0) }
 

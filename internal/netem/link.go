@@ -283,6 +283,31 @@ func (l *Link) SetLossRate(p float64, rng *sim.RNG) {
 	l.lossRNG = rng
 }
 
+// Reset restores the link to its as-built state for run-instance
+// reuse: queue emptied (queued packets recycled into the pool), fault
+// and degradation state cleared, rate and delay back to the built
+// values, statistics zeroed. In-flight packets are not the link's to
+// reclaim — their delivery events die with the engine's own Reset.
+// The built ECN threshold is part of the instance's shape and is kept.
+func (l *Link) Reset() {
+	for l.count > 0 {
+		p := l.queue[l.head]
+		l.queue[l.head] = nil
+		l.head = (l.head + 1) % l.limit
+		l.count--
+		l.pool.Put(p)
+	}
+	l.head = 0
+	l.busy = false
+	l.down = false
+	l.routeDead = false
+	l.rate = l.baseRate
+	l.prop = l.baseProp
+	l.lossRate = 0
+	l.lossRNG = nil
+	l.Stats = LinkStats{}
+}
+
 // blackhole accounts one packet swallowed by the down link and recycles
 // it: a blackholed packet has reached its terminal point.
 func (l *Link) blackhole(p *Packet) {

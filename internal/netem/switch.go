@@ -150,6 +150,30 @@ func (s *Switch) SetRouter(r Router) {
 // Router returns the currently installed routing function.
 func (s *Switch) Router() Router { return s.router }
 
+// SetSeed replaces the per-switch ECMP hash seed. Topology builders seed
+// switches at construction; run-instance pooling re-derives the same
+// seed stream for a recycled network when the reused config carries a
+// different experiment seed.
+func (s *Switch) SetSeed(seed uint32) { s.seed = seed }
+
+// Reset clears the switch's crash state and statistics for run-instance
+// reuse. The router is deliberately untouched: restoring the as-built
+// router after a control plane wrapped it is the topology's job (it is
+// the one that recorded the base), via Network.Reset.
+func (s *Switch) Reset() {
+	s.down = false
+	s.downSince = 0
+	s.Forwarded = 0
+	s.Dropped = 0
+	s.LoopDrops = 0
+	s.NoRoute = 0
+	s.TransientNoRoute = 0
+	s.StaleLookups = 0
+	s.Crashes = 0
+	s.CrashDrops = 0
+	s.DownTime = 0
+}
+
 // SetPool installs the packet free list the switch recycles dropped
 // packets into; nil (the default) disables recycling.
 func (s *Switch) SetPool(pp *PacketPool) { s.pool = pp }

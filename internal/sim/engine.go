@@ -178,6 +178,29 @@ func (e *Engine) recycle(ev *Event) {
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// Reset returns the engine to its initial state — clock at zero, no
+// pending events, all counters cleared, no interrupt hook — while keeping
+// the allocated capacity (heap backing array and event free list), so a
+// pooled engine's steady-state reuse allocates nothing. Pending events
+// are discarded without firing; their handles read as cancelled. This is
+// the sim half of the run-instance pooling contract: after Reset the
+// engine is observationally identical to NewEngine() output.
+func (e *Engine) Reset() {
+	for i, ev := range e.heap {
+		ev.cancelled = true
+		e.recycle(ev)
+		e.heap[i] = nil
+	}
+	e.heap = e.heap[:0]
+	e.now = 0
+	e.seq = 0
+	e.processed = 0
+	e.cancelled = 0
+	e.stopped = false
+	e.interrupt = nil
+	e.interruptEvery = 0
+}
+
 // Run executes events until the queue is empty or Stop is called.
 func (e *Engine) Run() {
 	e.RunUntil(Time(1<<63 - 1))

@@ -22,12 +22,20 @@ func NewRNG(seed uint64) *RNG {
 // NewRNGStream returns a generator seeded with seed on the given stream.
 // Different streams with the same seed are statistically independent.
 func NewRNGStream(seed, stream uint64) *RNG {
-	r := &RNG{inc: stream<<1 | 1}
+	r := &RNG{}
+	r.Reseed(seed, stream)
+	return r
+}
+
+// Reseed reinitialises r in place to exactly the state NewRNGStream(seed,
+// stream) would return, without allocating — the reseeding path pooled
+// run instances use when a recycled network is re-keyed to a new seed.
+func (r *RNG) Reseed(seed, stream uint64) {
+	r.inc = stream<<1 | 1
 	r.state = 0
 	r.Uint32()
 	r.state += seed
 	r.Uint32()
-	return r
 }
 
 // Split derives a new independent generator from this one, for giving each

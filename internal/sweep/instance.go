@@ -1,0 +1,60 @@
+package sweep
+
+import "sync"
+
+// InstancePool is a keyed free list of reusable job instances — in this
+// repository, engine+network pairs recycled across sweep replicates that
+// share a Config shape. It is deliberately generic, like Run: the pool
+// neither builds nor resets instances (the caller owns that contract);
+// it only parks idle ones between jobs so that at most Workers instances
+// of a shape ever exist, however many replicates the sweep fans out.
+//
+// All methods are safe for concurrent use by the worker pool.
+type InstancePool[K comparable, T any] struct {
+	mu   sync.Mutex
+	free map[K][]T
+
+	hits, misses int64
+}
+
+// NewInstancePool returns an empty pool.
+func NewInstancePool[K comparable, T any]() *InstancePool[K, T] {
+	return &InstancePool[K, T]{free: make(map[K][]T)}
+}
+
+// Get removes and returns an idle instance for the key, reporting
+// whether one was available. A miss means the caller should build a
+// fresh instance (and later Put it back).
+func (p *InstancePool[K, T]) Get(key K) (T, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	list := p.free[key]
+	if n := len(list); n > 0 {
+		v := list[n-1]
+		var zero T
+		list[n-1] = zero // drop the pool's reference
+		p.free[key] = list[:n-1]
+		p.hits++
+		return v, true
+	}
+	p.misses++
+	var zero T
+	return zero, false
+}
+
+// Put parks an instance for reuse under the key. The caller must not
+// touch the instance again until it Gets it back.
+func (p *InstancePool[K, T]) Put(key K, v T) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.free[key] = append(p.free[key], v)
+}
+
+// Stats reports pool effectiveness: hits are Gets served from the free
+// list, misses are Gets that forced a fresh build. A steady-state pooled
+// sweep's misses stay at the worker count.
+func (p *InstancePool[K, T]) Stats() (hits, misses int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses
+}

@@ -97,7 +97,8 @@ func NewFatTree(eng *sim.Engine, cfg FatTreeConfig) *FatTree {
 		f.Hosts = append(f.Hosts, netem.NewHost(eng, nextID))
 		nextID++
 	}
-	seedRNG := sim.NewRNG(cfg.Seed ^ 0x5eed_fa77_ee00_0001)
+	f.setHashSalt(0x5eed_fa77_ee00_0001)
+	seedRNG := sim.NewRNG(cfg.Seed ^ f.hashSalt)
 	mkSwitch := func(tier netem.Layer) *netem.Switch {
 		sw := netem.NewSwitch(eng, nextID, seedRNG.Uint32())
 		nextID++

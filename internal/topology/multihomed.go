@@ -65,7 +65,8 @@ func NewMultiHomed(eng *sim.Engine, cfg MultiHomedConfig) *MultiHomed {
 		m.Hosts = append(m.Hosts, netem.NewHost(eng, nextID))
 		nextID++
 	}
-	seedRNG := sim.NewRNG(cfg.Seed ^ 0x5eed_fa77_ee00_0002)
+	m.setHashSalt(0x5eed_fa77_ee00_0002)
+	seedRNG := sim.NewRNG(cfg.Seed ^ m.hashSalt)
 	mkSwitch := func(tier netem.Layer) *netem.Switch {
 		sw := netem.NewSwitch(eng, nextID, seedRNG.Uint32())
 		nextID++

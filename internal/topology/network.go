@@ -92,6 +92,18 @@ type Network struct {
 	// routing control plane swaps wrapped routers in via WrapRouters.
 	routers map[netem.NodeID]netem.Router
 
+	// baseRouters snapshots each switch's as-built router (parallel to
+	// Switches, captured by validate) so Reset can unwind whatever a
+	// routing control plane wrapped around it.
+	baseRouters []netem.Router
+
+	// hashSalt recreates the builder's per-switch ECMP hash seed stream
+	// when a pooled network is reused under a new experiment seed;
+	// hashSeeded marks builders that derive switch seeds from the seed
+	// at all (the dumbbell's fixed seeds never change).
+	hashSalt   uint64
+	hashSeeded bool
+
 	// pathCount returns the number of distinct equal-cost paths between
 	// two hosts on the healthy network; see PathCount.
 	pathCount func(src, dst netem.NodeID) int
@@ -341,7 +353,8 @@ func countShortestPaths(n *Network, src, dst netem.NodeID) int {
 
 // validate panics if the network is structurally broken; builders call it
 // before returning. It checks that every host has at least one uplink,
-// then finishes construction by wiring the shared packet pool.
+// then finishes construction by wiring the shared packet pool and
+// snapshotting the as-built routers for Reset.
 func (n *Network) validate() {
 	for i, h := range n.Hosts {
 		if len(h.Uplinks()) == 0 {
@@ -349,6 +362,54 @@ func (n *Network) validate() {
 		}
 	}
 	n.installPool()
+	n.baseRouters = make([]netem.Router, len(n.Switches))
+	for i, sw := range n.Switches {
+		n.baseRouters[i] = n.routers[sw.ID()]
+	}
+}
+
+// setHashSalt records the seed-stream salt a builder used to derive
+// per-switch ECMP hash seeds (sim.NewRNG(seed ^ salt), one Uint32 per
+// switch in creation order), enabling Reset to re-key a recycled
+// network to a new experiment seed exactly as a fresh build would.
+func (n *Network) setHashSalt(salt uint64) {
+	n.hashSalt = salt
+	n.hashSeeded = true
+}
+
+// Reset restores a built network to its pristine state for reuse by
+// another run sharing the same shape (run-instance pooling): every
+// switch's counters, crash state and as-built router; every link's
+// queue, fault/degradation state and statistics; every host's endpoint
+// table and counters; and the path-count degradation oracle. When the
+// builder derived per-switch ECMP hash seeds from the experiment seed,
+// they are re-derived for the new seed, so a recycled network is
+// observationally identical to one freshly built with it. The shared
+// packet pool keeps its free list — that reuse is the point — and the
+// steady-state Reset path allocates nothing.
+//
+// The caller owns the engine half of the contract: Reset drops no
+// events, so it must follow (or precede) sim.Engine.Reset, which
+// discards the in-flight deliveries referencing this network.
+func (n *Network) Reset(seed uint64) {
+	for i, sw := range n.Switches {
+		sw.Reset()
+		n.setRouter(sw, n.baseRouters[i])
+	}
+	for _, l := range n.Links {
+		l.Reset()
+	}
+	for _, h := range n.Hosts {
+		h.Reset()
+	}
+	n.degraded = nil
+	if n.hashSeeded {
+		var rng sim.RNG
+		rng.Reseed(seed^n.hashSalt, 0)
+		for _, sw := range n.Switches {
+			sw.SetSeed(rng.Uint32())
+		}
+	}
 }
 
 // installPool attaches one packet free list to every host, switch and

@@ -76,7 +76,8 @@ func NewVL2(eng *sim.Engine, cfg VL2Config) *VL2 {
 		v.Hosts = append(v.Hosts, netem.NewHost(eng, nextID))
 		nextID++
 	}
-	seedRNG := sim.NewRNG(cfg.Seed ^ 0x5eed_fa77_ee00_0003)
+	v.setHashSalt(0x5eed_fa77_ee00_0003)
+	seedRNG := sim.NewRNG(cfg.Seed ^ v.hashSalt)
 	mkSwitch := func(tier netem.Layer) *netem.Switch {
 		sw := netem.NewSwitch(eng, nextID, seedRNG.Uint32())
 		nextID++

@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/tcp"
@@ -97,6 +98,51 @@ type RoutingConfig struct {
 	// window a link may make before it is damped; defaults to 3 when
 	// HoldDown is set.
 	FlapThreshold int
+}
+
+// MetricsMode selects how Run accumulates per-flow measurements.
+type MetricsMode string
+
+// Metrics accumulation modes.
+const (
+	// MetricsExact (the default) retains one FlowRecord per flow —
+	// Results.ShortFlows in spawn order, summarised by sorting the full
+	// FCT slice. Memory is O(flows); percentiles are exact. This mode is
+	// the oracle the streaming mode is tested against.
+	MetricsExact MetricsMode = "exact"
+	// MetricsStreaming accumulates short flows into log-bucketed
+	// streaming histograms: Results.ShortFlows stays nil and memory is
+	// O(1) in flow count, so million-flow sweep replicates cost the same
+	// as thousand-flow ones. Counts, mean, stddev, min and max stay
+	// exact; percentiles carry a relative error of at most
+	// 2^-HistPrecision (see MetricsConfig.HistPrecision).
+	MetricsStreaming MetricsMode = "streaming"
+)
+
+// MetricsConfig is the measurement section of Config: how per-flow
+// results are accumulated and whether the run records a rolling
+// time series. The zero value is the historical behaviour — exact
+// per-flow records, no snapshots.
+type MetricsConfig struct {
+	// Mode selects exact per-flow records (default) or O(1)-memory
+	// streaming accumulation; see MetricsMode.
+	Mode MetricsMode
+
+	// HistPrecision is the streaming histogram's sub-bucket precision in
+	// bits: quantile error is bounded by 2^-HistPrecision of the true
+	// order statistic. Zero means metrics.DefaultHistPrecision (10 bits,
+	// <0.1% error); values outside [metrics.MinHistPrecision,
+	// metrics.MaxHistPrecision] are rejected. Used by streaming mode and
+	// by snapshot percentiles in either mode.
+	HistPrecision int
+
+	// SnapshotInterval, when positive, records a cumulative Snapshot of
+	// the run every interval of virtual time into Results.Snapshots:
+	// short-flow percentile trajectories plus drop and routing counters.
+	// Zero disables (the default); negative is rejected. Enabling
+	// snapshots schedules extra engine events, so Results.Events shifts
+	// relative to a snapshot-free run; everything else is unchanged.
+	SnapshotInterval sim.Time
 }
 
 // Config describes one experiment. The zero value is not runnable; use
@@ -169,6 +215,11 @@ type Config struct {
 	// plane is only installed when Faults is active, so the healthy hot
 	// path is identical in every mode.
 	Routing RoutingConfig
+
+	// Metrics selects exact vs streaming measurement accumulation and
+	// optional rolling snapshots; see MetricsConfig. The zero value keeps
+	// per-flow records (the historical behaviour).
+	Metrics MetricsConfig
 
 	// Control.
 	Seed       uint64
@@ -284,7 +335,67 @@ func (c *Config) applyDefaults() error {
 	if c.Faults.ReconvergeDelay < 0 {
 		return fmt.Errorf("mmptcp: negative Faults.ReconvergeDelay %v", c.Faults.ReconvergeDelay)
 	}
+	switch c.Metrics.Mode {
+	case "":
+		c.Metrics.Mode = MetricsExact
+	case MetricsExact, MetricsStreaming:
+	default:
+		return fmt.Errorf("mmptcp: unknown metrics mode %q (want %q or %q)",
+			c.Metrics.Mode, MetricsExact, MetricsStreaming)
+	}
+	if c.Metrics.HistPrecision == 0 {
+		c.Metrics.HistPrecision = metrics.DefaultHistPrecision
+	}
+	if p := c.Metrics.HistPrecision; p < metrics.MinHistPrecision || p > metrics.MaxHistPrecision {
+		return fmt.Errorf("mmptcp: Metrics.HistPrecision %d outside [%d, %d]",
+			p, metrics.MinHistPrecision, metrics.MaxHistPrecision)
+	}
+	if c.Metrics.SnapshotInterval < 0 {
+		return fmt.Errorf("mmptcp: negative Metrics.SnapshotInterval %v", c.Metrics.SnapshotInterval)
+	}
 	return nil
+}
+
+// Shape is the comparable structural key run-instance pooling uses: the
+// Config fields that determine the built engine+network (topology kind
+// and size, link parameters, queueing, ECN). Two Configs with equal
+// Shapes can recycle one instance; everything else — protocol, workload,
+// faults, routing, metrics, seed — is per-run state that RunInstance
+// reset restores.
+type Shape struct {
+	Topology      TopologyKind
+	K             int
+	HostsPerEdge  int
+	LinkRateBps   int64
+	LinkDelay     sim.Time
+	QueueLimit    int
+	BottleneckBps int64
+	ECNThreshold  int
+}
+
+// Shape returns the config's structural pool key, after applying
+// defaults so that configs spelling the same structure differently
+// (explicit vs defaulted fields) share a key. It fails on configs that
+// would not run at all.
+func (c Config) Shape() (Shape, error) {
+	if err := c.applyDefaults(); err != nil { // c is a copy
+		return Shape{}, err
+	}
+	return c.shape(), nil
+}
+
+// shape assumes defaults have been applied.
+func (c *Config) shape() Shape {
+	return Shape{
+		Topology:      c.Topology,
+		K:             c.K,
+		HostsPerEdge:  c.HostsPerEdge,
+		LinkRateBps:   c.LinkRateBps,
+		LinkDelay:     c.LinkDelay,
+		QueueLimit:    c.QueueLimit,
+		BottleneckBps: c.BottleneckBps,
+		ECNThreshold:  c.ECNThreshold,
+	}
 }
 
 // routingConfig translates the public routing section into the control

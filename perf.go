@@ -49,6 +49,23 @@ func ChurnBenchConfig(mode RoutingMode, quick bool) Config {
 	return cfg
 }
 
+// SweepScaleBenchConfig is the tracked sweep-scale scenario shared with
+// cmd/bench's sweep-scale rows: the bench-scale MMPTCP experiment run as
+// a replicate sweep, where every replicate shares one Shape and only the
+// seed varies — the case run-instance pooling exists for. The rows
+// measure per-replicate setup cost (fresh build vs pooled reset — the
+// setup_allocs_ratio CI guards), per-flow memory in exact vs streaming
+// metrics mode, and the end-to-end pooled vs unpooled sweep.
+func SweepScaleBenchConfig(quick bool) Config {
+	flows := 200
+	if quick {
+		flows = 50
+	}
+	cfg := SmallConfig(ProtoMMPTCP, flows)
+	cfg.Seed = 1
+	return cfg
+}
+
 // StaggeredChurnBenchConfig is the tracked staggered-convergence
 // scenario: ChurnBenchConfig's churn under global routing with
 // per-switch FIB flips spread 2ms per hop from each failure, so the

@@ -1,0 +1,323 @@
+package mmptcp
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+// TestPooledSweepByteIdentical is the pooling contract: a pooled sweep
+// returns byte-identical Results to the unpooled path, serial and
+// parallel, across the PR-3 fault suite on both hash-seeded
+// multi-rooted topologies (FatTree and VL2) with mixed shapes, protos,
+// metrics modes and distinct seeds — so recycled engines, networks,
+// ECMP hash seeds and FIB state provably carry nothing between runs.
+func TestPooledSweepByteIdentical(t *testing.T) {
+	mkConfigs := func() []Config {
+		var configs []Config
+		for _, proto := range []Protocol{ProtoTCP, ProtoMMPTCP} {
+			// Cable failures with global repair on the FatTree.
+			fail := faultedConfig(proto, 40)
+			fail.Routing.Mode = RoutingGlobal
+			configs = append(configs, fail)
+			// Degraded (lossy, slow) cables on the FatTree edge.
+			deg := tiny(proto, 40)
+			deg.Faults = FaultsConfig{
+				Events: DegradeCables(LayerEdge, 2, 120*Millisecond, 400*Millisecond,
+					0.5, 50*Microsecond, 0.02),
+			}
+			configs = append(configs, deg)
+			// Cable failures on a VL2 fabric — a second pool shape whose
+			// per-switch hash seeds use a different derivation salt.
+			vl2 := tiny(proto, 40)
+			vl2.Topology = TopoVL2
+			vl2.K = 4
+			vl2.HostsPerEdge = 2
+			vl2.Faults = FaultsConfig{
+				Events:          FailCables(LayerAgg, 2, 150*Millisecond, 600*Millisecond),
+				ReconvergeDelay: 50 * Millisecond,
+			}
+			configs = append(configs, vl2)
+		}
+		// A switch crash, and the new metrics modes riding on recycled
+		// instances: streaming aggregation and rolling snapshots.
+		crash := faultedConfig(ProtoMMPTCP, 40)
+		crash.Faults = FaultsConfig{
+			Events:          FailSwitches([]int{16}, 200*Millisecond, 800*Millisecond),
+			ReconvergeDelay: 50 * Millisecond,
+		}
+		configs = append(configs, crash)
+		strm := faultedConfig(ProtoMMPTCP, 40)
+		strm.Metrics.Mode = MetricsStreaming
+		configs = append(configs, strm)
+		snap := faultedConfig(ProtoTCP, 40)
+		snap.Metrics.SnapshotInterval = 100 * Millisecond
+		configs = append(configs, snap)
+		// Distinct seeds: every instance reuse must re-derive hash seeds
+		// and RNG streams, not inherit the previous run's.
+		for i := range configs {
+			configs[i].Seed = uint64(i + 1)
+		}
+		return configs
+	}
+
+	fresh, err := RunSweep(mkConfigs(), SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled1, err := RunSweep(mkConfigs(), SweepOptions{Workers: 1, Pool: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled4, err := RunSweep(mkConfigs(), SweepOptions{Workers: 4, Pool: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fresh {
+		if !reflect.DeepEqual(fresh[i], pooled1[i]) {
+			t.Errorf("config %d: pooled serial sweep diverged from fresh instances", i)
+		}
+		if !reflect.DeepEqual(fresh[i], pooled4[i]) {
+			t.Errorf("config %d: pooled 4-worker sweep diverged from fresh instances", i)
+		}
+	}
+	// The suite actually exercised what it claims to.
+	for i, res := range fresh {
+		if res.FaultEvents == 0 {
+			t.Errorf("config %d resolved no fault events", i)
+		}
+	}
+	if n := len(fresh); fresh[n-2].ShortFlows != nil {
+		t.Error("streaming config kept per-flow records")
+	}
+	if n := len(fresh); len(fresh[n-1].Snapshots) == 0 {
+		t.Error("snapshot config recorded no snapshots")
+	}
+}
+
+// TestPooledSweepWorkerAllocationFree locks in the pooling payoff: once
+// an instance is warm, the worker loop's per-replicate setup —
+// pool.Get, Reset for the next seed, pool.Put — allocates nothing.
+func TestPooledSweepWorkerAllocationFree(t *testing.T) {
+	cfg := tiny(ProtoMMPTCP, 20)
+	inst, err := NewRunInstance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the instance: real runs grow the engine's event free list and
+	// the network's internal scratch to steady-state capacity.
+	for s := uint64(1); s <= 2; s++ {
+		cfg.Seed = s
+		if err := inst.Reset(cfg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := inst.Run(context.Background(), cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pool := sweep.NewInstancePool[Shape, *RunInstance]()
+	shape := inst.Shape()
+	pool.Put(shape, inst)
+	seed := uint64(3)
+	allocs := testing.AllocsPerRun(100, func() {
+		got, ok := pool.Get(shape)
+		if !ok {
+			panic("pool lost the instance")
+		}
+		cfg.Seed = seed
+		seed++
+		if err := got.Reset(cfg); err != nil {
+			panic(err)
+		}
+		pool.Put(shape, got)
+	})
+	if allocs != 0 {
+		t.Errorf("pooled worker setup loop allocates %.1f per replicate, want 0", allocs)
+	}
+}
+
+// TestRunInstanceShapeMismatch: reusing an instance for a config with a
+// different structural Shape must error, not silently run the wrong
+// network.
+func TestRunInstanceShapeMismatch(t *testing.T) {
+	base := tiny(ProtoTCP, 10)
+	inst, err := NewRunInstance(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := base
+	other.HostsPerEdge = 4
+	if err := inst.Reset(other); err == nil {
+		t.Error("Reset with mismatched HostsPerEdge succeeded")
+	} else if !strings.Contains(err.Error(), "shape") {
+		t.Errorf("mismatch error does not mention shape: %v", err)
+	}
+	// DCTCP defaults an ECN threshold, so its shape differs from TCP's
+	// even with identical explicit fields.
+	dctcp := base
+	dctcp.Protocol = ProtoDCTCP
+	if err := inst.Reset(dctcp); err == nil {
+		t.Error("Reset with DCTCP config on a TCP-shaped instance succeeded")
+	}
+	// Same shape still works, with any seed.
+	same := base
+	same.Seed = 99
+	same.ShortFlows = 5 // workload is not part of the shape
+	if err := inst.Reset(same); err != nil {
+		t.Errorf("Reset with same-shape config failed: %v", err)
+	}
+}
+
+// TestMetricsKnobValidation: the new metrics knobs reject nonsense
+// cleanly at config time instead of misbehaving mid-run.
+func TestMetricsKnobValidation(t *testing.T) {
+	run := func(mutate func(*Config)) error {
+		cfg := tiny(ProtoTCP, 1)
+		mutate(&cfg)
+		_, err := Run(cfg)
+		return err
+	}
+	if err := run(func(c *Config) { c.Metrics.Mode = "bogus" }); err == nil {
+		t.Error("unknown metrics mode accepted")
+	}
+	for _, p := range []int{-1, 17, 100} {
+		p := p
+		if err := run(func(c *Config) { c.Metrics.HistPrecision = p }); err == nil {
+			t.Errorf("histogram precision %d accepted", p)
+		}
+	}
+	if err := run(func(c *Config) { c.Metrics.SnapshotInterval = -Millisecond }); err == nil {
+		t.Error("negative snapshot interval accepted")
+	}
+	// Pooled sweeps surface the same validation errors.
+	bad := tiny(ProtoTCP, 1)
+	bad.Metrics.HistPrecision = -1
+	if _, err := RunSweep([]Config{bad}, SweepOptions{Pool: true}); err == nil {
+		t.Error("pooled sweep accepted invalid histogram precision")
+	}
+}
+
+// TestStreamingRunMatchesExact compares a streaming-mode run against the
+// exact-mode oracle on the same config: counts, moments and extremes are
+// identical, percentiles sit within the documented histogram bound of
+// the exact order statistics, and no per-flow records are retained.
+func TestStreamingRunMatchesExact(t *testing.T) {
+	base := tiny(ProtoMMPTCP, 80)
+	exact, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := base
+	scfg.Metrics.Mode = MetricsStreaming
+	stream, err := Run(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.ShortFlows != nil {
+		t.Errorf("streaming run kept %d per-flow records", len(stream.ShortFlows))
+	}
+	es, ss := exact.ShortSummary, stream.ShortSummary
+	if ss.Count != es.Count || ss.Incomplete != es.Incomplete || ss.WithRTO != es.WithRTO {
+		t.Errorf("counts diverge: streaming %+v exact %+v", ss, es)
+	}
+	if math.Abs(ss.MeanMs-es.MeanMs) > 1e-9*es.MeanMs {
+		t.Errorf("mean: streaming %v exact %v", ss.MeanMs, es.MeanMs)
+	}
+	if math.Abs(ss.StdMs-es.StdMs) > 1e-6*es.MeanMs {
+		t.Errorf("std: streaming %v exact %v", ss.StdMs, es.StdMs)
+	}
+	if ss.MinMs != es.MinMs || ss.MaxMs != es.MaxMs {
+		t.Errorf("min/max: streaming %v/%v exact %v/%v", ss.MinMs, ss.MaxMs, es.MinMs, es.MaxMs)
+	}
+	if math.Abs(stream.DeadlineMissRate-exact.DeadlineMissRate) > 1e-12 {
+		t.Errorf("miss rate: streaming %v exact %v", stream.DeadlineMissRate, exact.DeadlineMissRate)
+	}
+	// Percentiles against the exact per-flow records' order statistics.
+	var fcts []float64
+	for _, r := range exact.ShortFlows {
+		if r.Completed {
+			fcts = append(fcts, r.FCT().Milliseconds())
+		}
+	}
+	sort.Float64s(fcts)
+	eps := 1 / math.Pow(2, float64(base.Metrics.HistPrecision)) // 0 → default below
+	if base.Metrics.HistPrecision == 0 {
+		eps = 1.0 / 1024 // DefaultHistPrecision = 10 bits
+	}
+	for _, pq := range []struct {
+		got float64
+		q   float64
+	}{{ss.P50Ms, 0.50}, {ss.P95Ms, 0.95}, {ss.P99Ms, 0.99}} {
+		pos := pq.q * float64(len(fcts)-1)
+		lo := fcts[int(math.Floor(pos))]
+		hi := fcts[int(math.Ceil(pos))]
+		if pq.got < lo*(1-eps)-1e-9 || pq.got > hi*(1+eps)+1e-9 {
+			t.Errorf("q=%v: streaming %v outside order-stat bracket [%v, %v]",
+				pq.q, pq.got, lo, hi)
+		}
+	}
+	// Everything outside the short-flow accounting is untouched by the
+	// metrics mode: same simulation, same counters.
+	if stream.Events != exact.Events || stream.Elapsed != exact.Elapsed || stream.Spawned != exact.Spawned {
+		t.Errorf("simulation diverged: streaming events=%d elapsed=%v, exact events=%d elapsed=%v",
+			stream.Events, stream.Elapsed, exact.Events, exact.Elapsed)
+	}
+	if !reflect.DeepEqual(stream.LongFlows, exact.LongFlows) {
+		t.Error("long-flow records diverged between metrics modes")
+	}
+}
+
+// TestRollingSnapshots: a positive SnapshotInterval yields a cumulative
+// time series at the configured cadence, and — in exact mode — leaves
+// the final per-flow records and summary byte-identical to a
+// snapshot-free run.
+func TestRollingSnapshots(t *testing.T) {
+	iv := 50 * Millisecond
+	cfg := tiny(ProtoMMPTCP, 40)
+	cfg.Metrics.SnapshotInterval = iv
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Snapshots) == 0 {
+		t.Fatal("no snapshots recorded")
+	}
+	prev := res.Snapshots[0]
+	if prev.At != iv {
+		t.Errorf("first snapshot at %v, want %v", prev.At, iv)
+	}
+	for i, snap := range res.Snapshots[1:] {
+		if snap.At != prev.At+iv {
+			t.Errorf("snapshot %d at %v, want %v", i+1, snap.At, prev.At+iv)
+		}
+		// Cumulative counters never decrease.
+		if snap.Spawned < prev.Spawned || snap.Short.Count < prev.Short.Count ||
+			snap.Blackholed < prev.Blackholed || snap.NoRouteDrops < prev.NoRouteDrops {
+			t.Errorf("snapshot %d went backwards: %+v after %+v", i+1, snap, prev)
+		}
+		prev = snap
+	}
+	last := res.Snapshots[len(res.Snapshots)-1]
+	if last.Spawned > res.Spawned || last.Short.Count > res.ShortSummary.Count {
+		t.Errorf("last snapshot exceeds final totals: %+v vs spawned=%d count=%d",
+			last, res.Spawned, res.ShortSummary.Count)
+	}
+	// Exact mode with snapshots keeps the exact final statistics.
+	plain := cfg
+	plain.Metrics.SnapshotInterval = 0
+	base, err := Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.ShortFlows, base.ShortFlows) {
+		t.Error("snapshots perturbed the per-flow records")
+	}
+	if res.ShortSummary != base.ShortSummary {
+		t.Errorf("snapshots perturbed the summary: %+v vs %+v", res.ShortSummary, base.ShortSummary)
+	}
+}

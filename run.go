@@ -2,12 +2,15 @@ package mmptcp
 
 import (
 	"context"
+	"fmt"
 
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/netem"
 	"repro/internal/routing"
 	"repro/internal/sim"
+	"repro/internal/sweep"
+	"repro/internal/topology"
 	"repro/internal/workload"
 )
 
@@ -21,15 +24,26 @@ type Results struct {
 	Config Config
 
 	// ShortFlows holds one record per short flow in spawn order — the
-	// data behind the paper's Figures 1(b)/1(c) scatter plots.
+	// data behind the paper's Figures 1(b)/1(c) scatter plots. It is nil
+	// when Config.Metrics.Mode is MetricsStreaming: streaming runs keep
+	// no per-flow state, only the aggregates below.
 	ShortFlows []metrics.FlowRecord
 	// ShortSummary aggregates them (Figure 1(a)'s mean/stddev and the
-	// §3 "116 ms (σ=101) vs 126 ms (σ=425)" comparison).
+	// §3 "116 ms (σ=101) vs 126 ms (σ=425)" comparison). In streaming
+	// mode the counts, mean, stddev, min and max are still exact; the
+	// percentiles carry a relative error of at most
+	// 2^-Config.Metrics.HistPrecision.
 	ShortSummary metrics.Summary
 	// DeadlineMissRate is the fraction of short flows that missed
 	// Config.Deadline — the paper's §1 framing of short-flow damage
 	// ("even a single RTO may result in flow deadline violation").
 	DeadlineMissRate float64
+
+	// Snapshots is the rolling time series recorded when
+	// Config.Metrics.SnapshotInterval is positive: one cumulative
+	// Snapshot per interval of virtual time (percentile trajectories,
+	// drop and routing counters). Nil when snapshots are disabled.
+	Snapshots []metrics.Snapshot
 
 	// LongFlows holds one record per background flow, with Delivered
 	// bytes for throughput.
@@ -81,6 +95,74 @@ type Results struct {
 	Spawned int      // short flows actually spawned
 }
 
+// RunInstance is one reusable engine+network pair — the expensive half
+// of a run's setup. Everything else a run needs (transports, workload,
+// faults, the routing control plane) is built per run on top of it, so
+// an instance can be recycled across runs that share a Config Shape:
+// build once with NewRunInstance, then alternate Reset and Run. RunSweep
+// does this automatically under SweepOptions.Pool; the direct API exists
+// for benchmarks and custom drivers.
+//
+// An instance is single-threaded: one run at a time, no concurrent use.
+type RunInstance struct {
+	shape Shape
+	eng   *sim.Engine
+	net   *topology.Network
+}
+
+// NewRunInstance builds the engine and topology for cfg. The returned
+// instance is ready to Run cfg (or any config sharing its Shape and
+// Seed); reuse under a different config requires Reset first.
+func NewRunInstance(cfg Config) (*RunInstance, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	net, err := cfg.buildNetwork(eng)
+	if err != nil {
+		return nil, err
+	}
+	return &RunInstance{shape: cfg.shape(), eng: eng, net: net}, nil
+}
+
+// Shape returns the structural key the instance serves.
+func (ri *RunInstance) Shape() Shape { return ri.shape }
+
+// Reset restores the instance to the state a fresh NewRunInstance(cfg)
+// would have: engine clock at zero with no pending events, every switch,
+// link and host pristine, per-switch ECMP hash seeds re-derived from
+// cfg.Seed. A config whose Shape differs from the instance's is rejected
+// — a mismatched reuse would silently run on the wrong network. The
+// steady-state Reset path allocates nothing.
+func (ri *RunInstance) Reset(cfg Config) error {
+	if err := cfg.applyDefaults(); err != nil {
+		return err
+	}
+	if s := cfg.shape(); s != ri.shape {
+		return fmt.Errorf("mmptcp: pooled instance of shape %+v cannot run config of shape %+v", ri.shape, s)
+	}
+	ri.eng.Reset()
+	ri.net.Reset(cfg.Seed)
+	return nil
+}
+
+// Run executes one experiment on the instance. The instance must be
+// freshly built for cfg or Reset with it; Results are byte-identical to
+// Run(cfg) on a throwaway instance (the pooled-determinism guarantee,
+// locked in by TestPooledSweepByteIdentical).
+func (ri *RunInstance) Run(ctx context.Context, cfg Config) (*Results, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	if err := cfg.validateWorkload(); err != nil {
+		return nil, err
+	}
+	return runWith(ctx, cfg, ri)
+}
+
 // Run executes one experiment and returns its measurements.
 func Run(cfg Config) (*Results, error) {
 	return RunContext(context.Background(), cfg)
@@ -96,22 +178,51 @@ const ctxPollEvents = 8192
 // is what lets RunSweep tear down a whole fleet of in-flight experiments
 // the moment one of them fails.
 func RunContext(ctx context.Context, cfg Config) (*Results, error) {
-	if ctx == nil {
-		ctx = context.Background()
+	inst, err := NewRunInstance(cfg)
+	if err != nil {
+		return nil, err
 	}
+	return inst.Run(ctx, cfg)
+}
+
+// runPooled is the sweep worker's pooled path: draw an instance for the
+// config's shape — resetting a recycled one — run, and park it again.
+// Instances are only returned to the pool after a clean run; an aborted
+// run's instance is dropped rather than parked dirty.
+func runPooled(ctx context.Context, cfg Config, pool *sweep.InstancePool[Shape, *RunInstance]) (*Results, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return nil, err
 	}
 	if err := cfg.validateWorkload(); err != nil {
 		return nil, err
 	}
-	eng := sim.NewEngine()
-	if ctx.Done() != nil {
-		eng.SetInterrupt(ctxPollEvents, func() bool { return ctx.Err() != nil })
+	shape := cfg.shape()
+	inst, ok := pool.Get(shape)
+	if ok {
+		if err := inst.Reset(cfg); err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		inst, err = NewRunInstance(cfg)
+		if err != nil {
+			return nil, err
+		}
 	}
-	net, err := cfg.buildNetwork(eng)
+	res, err := inst.Run(ctx, cfg)
 	if err != nil {
 		return nil, err
+	}
+	pool.Put(shape, inst)
+	return res, nil
+}
+
+// runWith is the body shared by every entry point. cfg has defaults
+// applied and its workload validated; inst is fresh or Reset for cfg.
+func runWith(ctx context.Context, cfg Config, inst *RunInstance) (*Results, error) {
+	eng, net := inst.eng, inst.net
+	if ctx.Done() != nil {
+		eng.SetInterrupt(ctxPollEvents, func() bool { return ctx.Err() != nil })
 	}
 	rootRNG := sim.NewRNG(cfg.Seed)
 
@@ -120,6 +231,7 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	// identical workload, and the comparison isolates the failures.
 	var faultPlan *faults.Injector
 	var controlPlane *routing.ControlPlane
+	var err error
 	if cfg.Faults.Active() {
 		faultPlan, err = faults.Install(eng, faults.Target{
 			Links:        net.Links,
@@ -144,6 +256,19 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 				return nil, err
 			}
 			faultPlan.OnRouteChange = controlPlane.Invalidate
+		}
+	}
+
+	// Streaming accumulation: the streaming metrics mode's only
+	// aggregate, and the snapshot time series' percentile source in
+	// either mode (exact mode's final summary still comes from the full
+	// record slice, so enabling snapshots never perturbs it).
+	streaming := cfg.Metrics.Mode == MetricsStreaming
+	var stream *metrics.StreamingSummary
+	if streaming || cfg.Metrics.SnapshotInterval > 0 {
+		stream, err = metrics.NewStreamingSummary(cfg.Metrics.HistPrecision, cfg.Deadline)
+		if err != nil {
+			return nil, err
 		}
 	}
 
@@ -195,7 +320,10 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 		nextFlowID++
 	}
 
-	// Short flows: Poisson arrivals, permutation destinations.
+	// Short flows: Poisson arrivals, permutation destinations. Exact
+	// mode keeps every record (spawnOrder preserves the paper's
+	// scatter-plot ordering); streaming mode observes each flow into the
+	// aggregates the moment it finishes and forgets it.
 	shorts := make(map[uint64]*shortFlow, cfg.ShortFlows)
 	var spawnOrder []uint64
 	completed := 0
@@ -228,7 +356,9 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 		}
 		sf.conn = conn
 		shorts[id] = sf
-		spawnOrder = append(spawnOrder, id)
+		if !streaming {
+			spawnOrder = append(spawnOrder, id)
+		}
 		conn.Receiver().OnComplete = func() {
 			sf.rec.Completed = true
 			sf.rec.End = eng.Now()
@@ -242,10 +372,28 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 			sf.fill()
 			sf.conn.Close()
 			sf.conn = nil
+			if stream != nil {
+				stream.Observe(sf.rec)
+			}
+			if streaming {
+				delete(shorts, id)
+			}
 		})
 		conn.Start()
 	}
 	spawner.Start(rootRNG.Split())
+
+	// Rolling snapshots: a recurring event samples the cumulative state
+	// every interval. The extra events shift Results.Events (documented
+	// on MetricsConfig); nothing else observes them.
+	if iv := cfg.Metrics.SnapshotInterval; iv > 0 {
+		var tick func()
+		tick = func() {
+			res.Snapshots = append(res.Snapshots, takeSnapshot(eng, net, spawner, stream, controlPlane))
+			eng.Schedule(iv, tick)
+		}
+		eng.Schedule(iv, tick)
+	}
 
 	eng.RunUntil(cfg.MaxSimTime)
 	if err := ctx.Err(); err != nil {
@@ -255,18 +403,33 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	res.Events = eng.Processed()
 	res.Spawned = spawner.Spawned()
 
-	// Collect short-flow records in spawn order.
-	for _, id := range spawnOrder {
-		sf := shorts[id]
-		if sf.conn != nil { // still open at sim end
-			sf.fill()
-			sf.conn.Close()
-			sf.conn = nil
+	if streaming {
+		// Whatever is left in the map never finished (or its sender was
+		// still awaiting ACKs): account it, then summarise.
+		for _, sf := range shorts {
+			if sf.conn != nil {
+				sf.fill()
+				sf.conn.Close()
+				sf.conn = nil
+			}
+			stream.Observe(sf.rec)
 		}
-		res.ShortFlows = append(res.ShortFlows, sf.rec)
+		res.ShortSummary = stream.Summary()
+		res.DeadlineMissRate = stream.MissRate()
+	} else {
+		// Collect short-flow records in spawn order.
+		for _, id := range spawnOrder {
+			sf := shorts[id]
+			if sf.conn != nil { // still open at sim end
+				sf.fill()
+				sf.conn.Close()
+				sf.conn = nil
+			}
+			res.ShortFlows = append(res.ShortFlows, sf.rec)
+		}
+		res.ShortSummary = metrics.Summarize(res.ShortFlows)
+		res.DeadlineMissRate = metrics.DeadlineMissRate(res.ShortFlows, cfg.Deadline)
 	}
-	res.ShortSummary = metrics.Summarize(res.ShortFlows)
-	res.DeadlineMissRate = metrics.DeadlineMissRate(res.ShortFlows, cfg.Deadline)
 
 	// Long flows: goodput over their lifetime.
 	var tputSum float64
@@ -322,6 +485,32 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 		res.Routing.Damped = st.Damped
 	}
 	return res, nil
+}
+
+// takeSnapshot samples the run's cumulative state: workload progress,
+// the streaming short-flow summary, network-wide damage counters, and
+// the control plane's work so far.
+func takeSnapshot(eng *sim.Engine, net *topology.Network, spawner *workload.PoissonShortFlows, stream *metrics.StreamingSummary, cp *routing.ControlPlane) metrics.Snapshot {
+	snap := metrics.Snapshot{
+		At:      eng.Now(),
+		Spawned: spawner.Spawned(),
+		Short:   stream.Summary(),
+	}
+	for _, l := range net.Links {
+		snap.Blackholed += l.Stats.Blackholed
+	}
+	for _, sw := range net.Switches {
+		snap.NoRouteDrops += sw.NoRoute
+		snap.HopDrops += sw.Dropped
+		snap.LoopDrops += sw.LoopDrops
+		snap.CrashDrops += sw.CrashDrops
+	}
+	if cp != nil {
+		st := cp.Stats()
+		snap.Recomputes = st.Recomputes
+		snap.Overrides = st.Overrides
+	}
+	return snap
 }
 
 // shortFlow pairs one short flow's record with its live connection.

@@ -60,6 +60,15 @@ type SweepOptions struct {
 	// Configs with explicit seeds are left untouched.
 	Seed uint64
 
+	// Pool recycles run instances (engine + built network) across
+	// configs that share a structural Shape instead of rebuilding them
+	// for every run: replicate sweeps — many seeds over few shapes — cut
+	// their per-run setup allocations by orders of magnitude (see
+	// cmd/bench's sweep-scale rows). Results are byte-identical to the
+	// unpooled path at any worker count (TestPooledSweepByteIdentical);
+	// peak live instances stay bounded by Workers per distinct shape.
+	Pool bool
+
 	// OnResult, if non-nil, is called after each run completes with the
 	// number of runs finished so far, the total, and the finished run's
 	// index into configs. Calls are serialised; no locking needed.
@@ -84,6 +93,15 @@ func RunSweep(configs []Config, opts SweepOptions) ([]*Results, error) {
 			derived[i] = cfg
 		}
 		configs = derived
+	}
+	if opts.Pool {
+		pool := sweep.NewInstancePool[Shape, *RunInstance]()
+		return sweep.Run(ctx, len(configs), sweep.Options{
+			Workers: opts.Workers,
+			OnDone:  opts.OnResult,
+		}, func(ctx context.Context, i int) (*Results, error) {
+			return runPooled(ctx, configs[i], pool)
+		})
 	}
 	return sweep.Run(ctx, len(configs), sweep.Options{
 		Workers: opts.Workers,
