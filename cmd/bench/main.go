@@ -18,6 +18,7 @@ import (
 
 	mmptcp "repro"
 	"repro/internal/netem"
+	"repro/internal/prof"
 	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -45,7 +46,15 @@ type File struct {
 func main() {
 	quick := flag.Bool("quick", false, "reduced scale for CI smoke runs (64-host churn topology, fewer flows)")
 	out := flag.String("out", "BENCH.json", "output path for the JSON report")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the suite to this file")
+	memProf := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
 
 	var results []Result
 	add := func(name string, br testing.BenchmarkResult, metrics map[string]float64) {
@@ -75,6 +84,12 @@ func main() {
 	staggeredChurn(*quick, add)
 	sweepScale(*quick, add)
 	microBenches(add)
+
+	stopProf()
+	if err := prof.WriteHeap(*memProf); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
 
 	f := File{
 		Schema:    1,

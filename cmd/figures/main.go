@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	figures -fig 1a|1b|1c|stats|switch|load|hotspot|multihomed|coexist|failure|repair|transient|timeline|all
+//	figures -fig 1a|1b|1c|stats|switch|load|hotspot|multihomed|coexist|failure|repair|transient|timeline|anatomy|all
 //	        [-scale tiny|small|medium|paper] [-flows N] [-seed S] [-csv]
 //	        [-workers N] [-pool]
 //
@@ -35,22 +35,31 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/netem"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 var (
-	figFlag     = flag.String("fig", "all", "artefact to regenerate: 1a, 1b, 1c, stats, switch, load, hotspot, multihomed, coexist, dupthresh, threshold, dctcp, incast, failure, repair, transient, timeline, all")
+	figFlag     = flag.String("fig", "all", "artefact to regenerate: 1a, 1b, 1c, stats, switch, load, hotspot, multihomed, coexist, dupthresh, threshold, dctcp, incast, failure, repair, transient, timeline, anatomy, all")
 	scaleFlag   = flag.String("scale", "small", "experiment scale: tiny, small, medium, paper")
 	flowsFlag   = flag.Int("flows", 0, "override the number of short flows")
 	seedFlag    = flag.Uint64("seed", 1, "random seed")
 	csvFlag     = flag.Bool("csv", false, "emit per-flow CSV instead of tables where applicable")
 	workersFlag = flag.Int("workers", 0, "max concurrent experiments (0 = all CPUs, 1 = serial)")
 	poolFlag    = flag.Bool("pool", false, "recycle run instances across same-shape configs in every scan (tables are byte-identical either way)")
+	cpuProfFlag = flag.String("cpuprofile", "", "write a CPU profile of the regeneration to this file")
+	memProfFlag = flag.String("memprofile", "", "write a heap profile to this file at exit")
 )
 
 func main() {
 	flag.Parse()
+	stopProf, err := prof.Start(*cpuProfFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	switch *figFlag {
 	case "1a":
 		fig1a()
@@ -86,6 +95,8 @@ func main() {
 		transient()
 	case "timeline":
 		timeline()
+	case "anatomy":
+		anatomy()
 	case "all":
 		fig1a()
 		fig1bc(mmptcp.ProtoMPTCP, "1b")
@@ -104,9 +115,15 @@ func main() {
 		repair()
 		transient()
 		timeline()
+		anatomy()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *figFlag)
 		os.Exit(2)
+	}
+	stopProf()
+	if err := prof.WriteHeap(*memProfFlag); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 
@@ -717,6 +734,86 @@ func timeline() {
 	}
 	fmt.Printf("final (%d-bit streaming histogram): %v\n\n",
 		res.Config.Metrics.HistPrecision, res.ShortSummary)
+}
+
+// anatomy is the flow-anatomy figure the structured trace opens: one
+// MMPTCP run under a mid-run cable cut with global repair, traced in
+// full mode, then the single most-damaged short flow dissected as an
+// interleaved timeline of its own transport events (retransmissions,
+// timeouts, subflow lifecycle, the phase switch) against the fabric and
+// control-plane events that damaged it (faults, link state, drops
+// charged to the flow, recomputes, FIB flips). High-volume per-segment
+// kinds (sends, ACKs, enqueues, window moves) are elided — the figure
+// is the anatomy of the damage, not a packet dump.
+func anatomy() {
+	cfg := baseConfig(mmptcp.ProtoMMPTCP)
+	// Stranded flows surface as deadline misses rather than wall time.
+	if cfg.MaxSimTime == 0 || cfg.MaxSimTime > 60*sim.Second {
+		cfg.MaxSimTime = 60 * sim.Second
+	}
+	cfg.Faults = mmptcp.FaultsConfig{
+		Events:          mmptcp.FailCables(mmptcp.LayerAgg, 2, 200*sim.Millisecond, 900*sim.Millisecond),
+		ReconvergeDelay: 10 * sim.Millisecond,
+	}
+	cfg.Routing.Mode = mmptcp.RoutingGlobal
+	cfg.Trace.Mode = mmptcp.TraceFull
+	res, rec, err := mmptcp.RunTraced(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// The victim: the short flow with the most timeouts, retransmissions
+	// breaking ties — the tail the paper's Figure 1 scatters are about.
+	victim := -1
+	for i, r := range res.ShortFlows {
+		if victim < 0 ||
+			r.Timeouts > res.ShortFlows[victim].Timeouts ||
+			(r.Timeouts == res.ShortFlows[victim].Timeouts &&
+				r.Retransmissions > res.ShortFlows[victim].Retransmissions) {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		fmt.Println("== anatomy: no short flows recorded ==")
+		return
+	}
+	v := res.ShortFlows[victim]
+
+	fmt.Printf("== Anatomy of a damaged flow (full trace, %d events kept of %d) ==\n",
+		rec.Len(), rec.Total())
+	fmt.Printf("victim: flow %d  %d -> %d  %d bytes  fct=%.1fms  timeouts=%d fast_retx=%d retx=%d completed=%t\n",
+		v.ID, v.Src, v.Dst, v.Size, v.FCT().Milliseconds(),
+		v.Timeouts, v.FastRetransmits, v.Retransmissions, v.Completed)
+	fmt.Println("      t_ms  event            sub  node->peer  a           b")
+
+	// Per-segment noise stays out of the timeline.
+	elide := map[trace.Kind]bool{
+		trace.KindEnqueue:     true,
+		trace.KindAck:         true,
+		trace.KindSegmentSend: true,
+		trace.KindCwnd:        true,
+		trace.KindRTO:         true,
+		trace.KindECNMark:     true,
+	}
+	printed := 0
+	for _, e := range rec.Events() {
+		if e.Flow != v.ID && e.Flow != 0 {
+			continue // another flow's transport/fabric event
+		}
+		if elide[e.Kind] {
+			continue
+		}
+		peer := "    -"
+		if e.Peer >= 0 {
+			peer = fmt.Sprintf("%5d", e.Peer)
+		}
+		fmt.Printf("%10.3f  %-15s  %3d  %4d->%s  %-10d  %d\n",
+			e.At.Milliseconds(), e.Kind, e.Sub, e.Node, peer, e.A, e.B)
+		printed++
+	}
+	fmt.Printf("%d timeline events (of %d traced; per-segment kinds elided)\n\n",
+		printed, rec.Len())
 }
 
 // coexist shares one dumbbell bottleneck among a TCP flow, an MPTCP

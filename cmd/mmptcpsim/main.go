@@ -33,8 +33,27 @@ import (
 	mmptcp "repro"
 	"repro/internal/core"
 	"repro/internal/netem"
+	"repro/internal/prof"
 	"repro/internal/sim"
 )
+
+// writeTrace exports the recorder to path: JSON lines when the path
+// ends in .jsonl, Chrome trace-event JSON (Perfetto loadable) otherwise.
+func writeTrace(rec *mmptcp.Recorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = rec.WriteJSONL(f)
+	} else {
+		err = rec.WriteChromeTrace(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 func main() {
 	var (
@@ -78,6 +97,11 @@ func main() {
 		histPrec = flag.Int("hist-precision", 0, "streaming histogram sub-bucket bits, percentile error <= 2^-bits (0 = default 10)")
 		snapMs   = flag.Float64("snapshot-ms", 0, "record a cumulative snapshot every this many milliseconds of virtual time (0 = off)")
 		poolInst = flag.Bool("pool", false, "recycle run instances across replicates sharing a shape (requires -seeds > 1)")
+		traceM   = flag.String("trace", "", "record a structured event trace: ring (bounded flight recorder) or full (everything)")
+		traceOut = flag.String("trace-out", "trace.json", "trace output path; a .jsonl suffix writes JSON lines, anything else Chrome trace-event JSON (open in Perfetto)")
+		traceFl  = flag.String("trace-flows", "", "comma-separated flow IDs to restrict flow-scoped trace events to (default: all flows)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -154,6 +178,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-pool recycles instances across a replicate sweep; add -seeds N > 1")
 		os.Exit(2)
 	}
+	if *traceM != "" {
+		if *seeds > 1 {
+			fmt.Fprintln(os.Stderr, "-trace records a single run; drop -seeds or -trace")
+			os.Exit(2)
+		}
+		cfg.Trace.Mode = mmptcp.TraceMode(*traceM)
+		for _, part := range strings.Split(*traceFl, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			id, err := strconv.ParseUint(part, 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad -trace-flows flow ID %q\n", part)
+				os.Exit(2)
+			}
+			cfg.Trace.Flows = append(cfg.Trace.Flows, id)
+		}
+	} else if *traceFl != "" {
+		fmt.Fprintln(os.Stderr, "-trace-flows needs -trace ring or -trace full")
+		os.Exit(2)
+	}
 	cfg.Routing = mmptcp.RoutingConfig{
 		Mode:          mmptcp.RoutingMode(*routing),
 		Convergence:   mmptcp.ConvergenceMode(*converge),
@@ -218,22 +264,55 @@ func main() {
 		os.Exit(2)
 	}
 
+	stopProf, err := prof.Start(*cpuProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	if *seeds > 1 {
 		if *perflow {
 			fmt.Fprintln(os.Stderr, "-perflow is a single-run report; drop -seeds or -perflow")
 			os.Exit(2)
 		}
 		replicate(cfg, *seeds, *workers, *seed, *poolInst)
+		stopProf()
+		if err := prof.WriteHeap(*memProf); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		return
 	}
 
 	start := time.Now()
-	res, err := mmptcp.Run(cfg)
+	var res *mmptcp.Results
+	var rec *mmptcp.Recorder
+	if *traceM != "" {
+		res, rec, err = mmptcp.RunTraced(cfg)
+	} else {
+		res, err = mmptcp.Run(cfg)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	wall := time.Since(start)
+	stopProf()
+	if err := prof.WriteHeap(*memProf); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if rec != nil {
+		if err := writeTrace(rec, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "trace: kept %d of %d events -> %s\n",
+				rec.Len(), rec.Total(), *traceOut)
+		}
+	}
 
 	if !*quiet {
 		report(res, wall)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/tcp"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // Conn is the protocol-independent view of one simulated connection that
@@ -33,6 +34,10 @@ type DialConfig struct {
 	Dst    int
 	Size   int64 // -1 for unbounded
 	RNG    *sim.RNG
+	// Recorder, when non-nil, receives the flow's structured trace
+	// events (segment sends, ACKs, window changes, subflow lifecycle,
+	// phase switches). Nil — the default — costs nothing.
+	Recorder *trace.Recorder
 }
 
 // Dial creates a connection of the configured protocol between two hosts
@@ -54,6 +59,7 @@ func Dial(eng *sim.Engine, net *topology.Network, cfg Config, d DialConfig) (Con
 			DstPort:    80,
 			Source:     &tcp.BytesSource{Size: d.Size},
 			EnableSACK: cfg.SACK,
+			Recorder:   d.Recorder,
 		}
 		if cfg.Protocol == ProtoDCTCP {
 			opt.CC = &dctcp.CC{}
@@ -62,11 +68,12 @@ func Dial(eng *sim.Engine, net *topology.Network, cfg Config, d DialConfig) (Con
 		return &tcpConn{snd: snd, rcv: rcv}, nil
 	case ProtoMPTCP:
 		conn := mptcp.Dial(eng, mptcp.Config{TCP: cfg.TCP, Subflows: cfg.Subflows, SACK: cfg.SACK}, mptcp.Options{
-			SrcHost: src,
-			DstHost: dst,
-			FlowID:  d.FlowID,
-			Size:    d.Size,
-			RNG:     d.RNG,
+			SrcHost:  src,
+			DstHost:  dst,
+			FlowID:   d.FlowID,
+			Size:     d.Size,
+			RNG:      d.RNG,
+			Recorder: d.Recorder,
 		})
 		return &mptcpConn{conn}, nil
 	case ProtoMMPTCP:
@@ -84,6 +91,7 @@ func Dial(eng *sim.Engine, net *topology.Network, cfg Config, d DialConfig) (Con
 			Size:      d.Size,
 			PathCount: net.PathCount(netem.NodeID(d.Src), netem.NodeID(d.Dst)),
 			RNG:       d.RNG,
+			Recorder:  d.Recorder,
 		})
 		return &mmptcpConn{conn}, nil
 	}

@@ -38,6 +38,13 @@ type (
 	// Sampler records time series (cwnd, RTT, queue depth) from a
 	// running simulation.
 	Sampler = trace.Sampler
+	// Recorder is the structured event recorder (flight recorder)
+	// enabled by Config.Trace; see RunTraced and RunInstance.Recorder.
+	Recorder = trace.Recorder
+	// TraceEvent is one recorded structured event.
+	TraceEvent = trace.Event
+	// TraceKind identifies a trace event's type (trace.Kind* constants).
+	TraceKind = trace.Kind
 
 	// FaultsConfig is the network-dynamics section of Config: timed
 	// failure/degradation events, an optional sampled failure model, and

@@ -26,6 +26,7 @@ import (
 	"repro/internal/netem"
 	"repro/internal/sim"
 	"repro/internal/tcp"
+	"repro/internal/trace"
 )
 
 // Strategy selects when MMPTCP leaves the packet-scatter phase.
@@ -152,6 +153,9 @@ type Options struct {
 	PathCount int
 	DstPort   uint16   // default 80
 	RNG       *sim.RNG // required: port randomisation
+	// Recorder, when non-nil, traces both phases (PS sender, MPTCP
+	// subflows) and the phase-switch instant.
+	Recorder *trace.Recorder
 }
 
 // Conn is an MMPTCP connection: a packet-scatter sender, a shared
@@ -223,6 +227,7 @@ func Dial(eng *sim.Engine, cfg Config, opt Options) *Conn {
 		ScatterPorts: func() uint16 { return uint16(1024 + rng.Intn(64000)) },
 		IfacePicker:  ifacePicker,
 		EnableSACK:   cfg.SACK,
+		Recorder:     opt.Recorder,
 	}
 	switch cfg.Threshold {
 	case ThresholdAdaptive:
@@ -297,6 +302,11 @@ func (c *Conn) maybeSwitch() {
 	}
 	c.switched = true
 	c.switchedAt = c.eng.Now()
+	if c.opt.Recorder != nil {
+		c.opt.Recorder.Record(c.switchedAt, trace.KindPhaseSwitch, c.opt.FlowID, 0,
+			int32(c.opt.SrcHost.ID()), int32(c.opt.DstHost.ID()),
+			handover, int64(c.cfg.Subflows))
+	}
 	c.mp = mptcp.Dial(c.eng, mptcp.Config{
 		TCP:       c.cfg.TCP,
 		Subflows:  c.cfg.Subflows,
@@ -312,6 +322,7 @@ func (c *Conn) maybeSwitch() {
 		DstPort:     c.opt.DstPort,
 		RNG:         c.opt.RNG,
 		Receiver:    c.rcv,
+		Recorder:    c.opt.Recorder,
 	})
 	c.mp.OnAllAcked = func() {
 		c.mpDone = true

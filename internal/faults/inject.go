@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/netem"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Target is the injectable view of a built network: every unidirectional
@@ -62,7 +63,15 @@ type Injector struct {
 	// routeDeadLinks counts links currently excluded by routing; the
 	// topology's live path-count oracle polls it through Degraded.
 	routeDeadLinks int
+
+	// rec, when non-nil, receives structured trace events for every
+	// applied fault mutation; nil-guarded at each trace point.
+	rec *trace.Recorder
 }
+
+// SetRecorder installs (or, with nil, removes) the structured event
+// recorder. The run harness calls this right after Install.
+func (inj *Injector) SetRecorder(r *trace.Recorder) { inj.rec = r }
 
 // Degraded reports whether any link is currently excluded from routing.
 // While true, path counts must be derived from the live routing DAG
@@ -293,7 +302,18 @@ func Install(eng *sim.Engine, target Target, cfg Config, rng *sim.RNG, horizon s
 // apply executes one event against its resolved target links or switch
 // ordinals.
 func (inj *Injector) apply(ev Event, targets []*netem.Link, switchOrds []int, lossRNG *sim.RNG) {
+	// Repairs (up/restore) trace as fault-repair, everything else as
+	// fault-inject, with the fault kind in the payload.
+	traceKind := trace.KindFaultInject
+	switch ev.Kind {
+	case LinkUp, Restore, SwitchUp:
+		traceKind = trace.KindFaultRepair
+	}
 	for _, s := range switchOrds {
+		if inj.rec != nil {
+			inj.rec.Record(inj.eng.Now(), traceKind, 0, -1,
+				int32(inj.switches[s].ID()), -1, int64(ev.Kind), 0)
+		}
 		switch ev.Kind {
 		case SwitchDown:
 			inj.crashSwitch(s)
@@ -303,6 +323,10 @@ func (inj *Injector) apply(ev Event, targets []*netem.Link, switchOrds []int, lo
 	}
 	for _, l := range targets {
 		l := l
+		if inj.rec != nil {
+			inj.rec.Record(inj.eng.Now(), traceKind, 0, -1,
+				int32(l.Src().ID()), int32(l.Dst().ID()), int64(ev.Kind), 0)
+		}
 		switch ev.Kind {
 		case LinkDown:
 			inj.failLink(l)

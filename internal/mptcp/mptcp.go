@@ -22,6 +22,7 @@ import (
 	"repro/internal/netem"
 	"repro/internal/sim"
 	"repro/internal/tcp"
+	"repro/internal/trace"
 )
 
 // Config parametrises an MPTCP connection.
@@ -75,6 +76,9 @@ type Options struct {
 	// endpoint (MMPTCP's, which also serves the packet-scatter flow).
 	// When nil, the connection creates its own tcp.Receiver.
 	Receiver *tcp.Receiver
+	// Recorder, when non-nil, is handed to every subflow sender so the
+	// structured trace sees subflow opens/closes and per-segment events.
+	Recorder *trace.Recorder
 }
 
 // Connection is the sender side of an MPTCP connection plus its
@@ -154,6 +158,7 @@ func Dial(eng *sim.Engine, cfg Config, opt Options) *Connection {
 			Source:     &subflowSource{conn: c},
 			CC:         cc,
 			EnableSACK: cfg.SACK,
+			Recorder:   opt.Recorder,
 		})
 		sub.OnAllAcked = c.subflowDone
 		c.subflows = append(c.subflows, sub)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Layer classifies where in the topology a link sits, for per-layer loss
@@ -131,6 +132,11 @@ type Link struct {
 	// random loss, blackholes); nil disables recycling.
 	pool *PacketPool
 
+	// rec, when non-nil, receives structured trace events (enqueues,
+	// marks, drops, link state). Every trace point is guarded by a nil
+	// check so the disabled cost is one predictable branch.
+	rec *trace.Recorder
+
 	// txDoneFn and deliverFn are the long-lived engine callbacks for the
 	// two per-packet events of a transmission, created once so the hot
 	// path schedules with ScheduleArg instead of allocating a closure
@@ -173,6 +179,14 @@ func NewLink(eng *sim.Engine, src, dst Node, rate int64, prop sim.Time, limit in
 // network to one shared pool; nil (the default) disables recycling.
 func (l *Link) SetPool(pp *PacketPool) { l.pool = pp }
 
+// SetRecorder installs (or, with nil, removes) the structured event
+// recorder. The run harness re-installs per run, so a pooled instance
+// never keeps recording into a previous run's recorder.
+func (l *Link) SetRecorder(r *trace.Recorder) { l.rec = r }
+
+// traceIDs returns the link's endpoints as trace identity fields.
+func (l *Link) traceIDs() (int32, int32) { return int32(l.src.ID()), int32(l.dst.ID()) }
+
 // Src returns the sending node.
 func (l *Link) Src() Node { return l.src }
 
@@ -213,6 +227,14 @@ func (l *Link) SetDown(down bool) {
 		return
 	}
 	now := l.eng.Now()
+	if l.rec != nil {
+		kind := trace.KindLinkUp
+		if down {
+			kind = trace.KindLinkDown
+		}
+		src, dst := l.traceIDs()
+		l.rec.Record(now, kind, 0, -1, src, dst, int64(l.count), 0)
+	}
 	if down {
 		l.down = true
 		l.Stats.downSince = now
@@ -305,6 +327,7 @@ func (l *Link) Reset() {
 	l.prop = l.baseProp
 	l.lossRate = 0
 	l.lossRNG = nil
+	l.rec = nil
 	l.Stats = LinkStats{}
 }
 
@@ -313,6 +336,10 @@ func (l *Link) Reset() {
 func (l *Link) blackhole(p *Packet) {
 	l.Stats.Blackholed++
 	l.Stats.BlackholedBytes += int64(p.Size)
+	if l.rec != nil {
+		src, dst := l.traceIDs()
+		l.rec.Record(l.eng.Now(), trace.KindBlackhole, p.FlowID, p.Subflow, src, dst, p.Seq, 0)
+	}
 	l.pool.Put(p)
 }
 
@@ -332,24 +359,44 @@ func (l *Link) Enqueue(p *Packet) {
 	if l.lossRate > 0 && l.lossRNG.Float64() < l.lossRate {
 		l.Stats.RandomDrops++
 		l.Stats.RandomDropBytes += int64(p.Size)
+		if l.rec != nil {
+			src, dst := l.traceIDs()
+			l.rec.Record(l.eng.Now(), trace.KindRandomDrop, p.FlowID, p.Subflow, src, dst, p.Seq, 0)
+		}
 		l.pool.Put(p)
 		return
 	}
 	if !l.busy {
 		l.Stats.Enqueued++
+		if l.rec != nil {
+			src, dst := l.traceIDs()
+			l.rec.Record(l.eng.Now(), trace.KindEnqueue, p.FlowID, p.Subflow, src, dst, p.Seq, 0)
+		}
 		l.transmit(p)
 		return
 	}
 	if l.count >= l.limit {
 		l.Stats.Drops++
 		l.Stats.DropBytes += int64(p.Size)
+		if l.rec != nil {
+			src, dst := l.traceIDs()
+			l.rec.Record(l.eng.Now(), trace.KindQueueDrop, p.FlowID, p.Subflow, src, dst, p.Seq, int64(l.limit))
+		}
 		l.pool.Put(p)
 		return
 	}
 	if l.ECNThreshold > 0 && l.count >= l.ECNThreshold {
 		p.CE = true
+		if l.rec != nil {
+			src, dst := l.traceIDs()
+			l.rec.Record(l.eng.Now(), trace.KindECNMark, p.FlowID, p.Subflow, src, dst, p.Seq, int64(l.count))
+		}
 	}
 	l.Stats.Enqueued++
+	if l.rec != nil {
+		src, dst := l.traceIDs()
+		l.rec.Record(l.eng.Now(), trace.KindEnqueue, p.FlowID, p.Subflow, src, dst, p.Seq, int64(l.count+1))
+	}
 	l.accountQueue()
 	tail := (l.head + l.count) % l.limit
 	l.queue[tail] = p

@@ -2,6 +2,7 @@ package netem
 
 import (
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Router computes the set of equal-cost output links a switch may use to
@@ -94,6 +95,10 @@ type Switch struct {
 	// crashed forwarding plane); nil disables recycling.
 	pool *PacketPool
 
+	// rec, when non-nil, receives structured trace events for the
+	// switch's drop classes; nil-guarded at every trace point.
+	rec *trace.Recorder
+
 	// Stats
 	Forwarded int64
 	Dropped   int64 // packets discarded due to the hop-count backstop
@@ -172,11 +177,16 @@ func (s *Switch) Reset() {
 	s.Crashes = 0
 	s.CrashDrops = 0
 	s.DownTime = 0
+	s.rec = nil
 }
 
 // SetPool installs the packet free list the switch recycles dropped
 // packets into; nil (the default) disables recycling.
 func (s *Switch) SetPool(pp *PacketPool) { s.pool = pp }
+
+// SetRecorder installs (or, with nil, removes) the structured event
+// recorder; the run harness re-installs it per run.
+func (s *Switch) SetRecorder(r *trace.Recorder) { s.rec = r }
 
 // Down reports whether the switch is crashed.
 func (s *Switch) Down() bool { return s.down }
@@ -217,14 +227,25 @@ func (s *Switch) TimeDown(now sim.Time) sim.Time {
 func (s *Switch) Receive(p *Packet, from *Link) {
 	if s.down {
 		s.CrashDrops++
+		if s.rec != nil {
+			s.rec.Record(s.eng.Now(), trace.KindCrashDrop, p.FlowID, p.Subflow, int32(s.id), -1, p.Seq, 0)
+		}
 		s.pool.Put(p)
 		return
 	}
 	if p.Hops > maxHops {
-		if s.vrouter != nil && s.vrouter.Transient() {
+		transient := s.vrouter != nil && s.vrouter.Transient()
+		if transient {
 			s.LoopDrops++
 		} else {
 			s.Dropped++
+		}
+		if s.rec != nil {
+			kind := trace.KindHopDrop
+			if transient {
+				kind = trace.KindLoopDrop
+			}
+			s.rec.Record(s.eng.Now(), kind, p.FlowID, p.Subflow, int32(s.id), -1, int64(p.Hops), 0)
 		}
 		s.pool.Put(p)
 		return
@@ -236,8 +257,13 @@ func (s *Switch) Receive(p *Packet, from *Link) {
 	n := len(links)
 	if n == 0 {
 		s.NoRoute++
+		transient := int64(0)
 		if s.vrouter != nil && s.vrouter.Transient() {
 			s.TransientNoRoute++
+			transient = 1
+		}
+		if s.rec != nil {
+			s.rec.Record(s.eng.Now(), trace.KindNoRouteDrop, p.FlowID, p.Subflow, int32(s.id), -1, transient, 0)
 		}
 		s.pool.Put(p)
 		return

@@ -58,6 +58,7 @@ import (
 	"repro/internal/netem"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // ForceFullRecompute, when set, disables the incremental invalidation
@@ -218,6 +219,8 @@ type Stats struct {
 type FIB struct {
 	cp   *ControlPlane
 	base netem.Router
+	// swID is the owning switch, for trace identity on flip events.
+	swID netem.NodeID
 	// override serves lookups; target, when non-nil, is the recomputed
 	// table staged for this switch but not yet flipped in.
 	override map[netem.NodeID][]*netem.Link
@@ -303,6 +306,10 @@ func (f *FIB) applyFlip() {
 	f.target = nil
 	f.epoch++
 	cp := f.cp
+	if cp.rec != nil {
+		cp.rec.Record(cp.eng.Now(), trace.KindFIBFlip, 0, -1, int32(f.swID), -1,
+			int64(f.epoch), int64(len(f.override)))
+	}
 	cp.stats.Flips++
 	cp.staleFIBs--
 	if cp.staleFIBs == 0 {
@@ -422,6 +429,11 @@ type ControlPlane struct {
 	// allocation per coalesced batch).
 	recomputeFn func()
 
+	// rec, when non-nil, receives structured trace events (recompute
+	// start/end, per-switch FIB flips, damping defer/expiry); every
+	// trace point is nil-guarded.
+	rec *trace.Recorder
+
 	stats Stats
 }
 
@@ -460,7 +472,7 @@ func Install(eng *sim.Engine, net *topology.Network, cfg Config) (*ControlPlane,
 	}
 	cp.fibs = make([]*FIB, 0, len(net.Switches))
 	net.WrapRouters(func(sw *netem.Switch, base netem.Router) netem.Router {
-		f := &FIB{cp: cp, base: base}
+		f := &FIB{cp: cp, base: base, swID: sw.ID()}
 		cp.fibs = append(cp.fibs, f)
 		return f
 	})
@@ -509,6 +521,10 @@ func (cp *ControlPlane) Stats() Stats {
 
 func (cp *ControlPlane) staggered() bool { return cp.cfg.Convergence == Staggered }
 
+// SetRecorder installs (or, with nil, removes) the structured event
+// recorder. The run harness calls this right after Install.
+func (cp *ControlPlane) SetRecorder(r *trace.Recorder) { cp.rec = r }
+
 // Invalidate marks the tables stale and schedules one recompute at the
 // current virtual time. Any number of Invalidate calls before that
 // recompute runs coalesce into it — a switch crash that deadens dozens
@@ -547,6 +563,10 @@ func (cp *ControlPlane) Invalidate(l *netem.Link) {
 	}
 	if damped {
 		cp.stats.Damped++
+		if cp.rec != nil && l != nil {
+			cp.rec.Record(cp.eng.Now(), trace.KindDampDefer, 0, -1,
+				int32(l.Src().ID()), int32(l.Dst().ID()), int64(cp.stats.Damped), 0)
+		}
 		if !cp.deferredPending {
 			cp.deferredPending = true
 			cp.eng.Schedule(cp.cfg.HoldDown, cp.deferredFn)
@@ -597,6 +617,10 @@ func (cp *ControlPlane) deferredRecompute() {
 	if len(cp.pending) == 0 && len(cp.seeds) == 0 && !cp.fullPending {
 		return
 	}
+	if cp.rec != nil {
+		cp.rec.Record(cp.eng.Now(), trace.KindDampExpire, 0, -1, -1, -1,
+			int64(len(cp.pending)+len(cp.seeds)), 0)
+	}
 	cp.Recompute()
 }
 
@@ -612,6 +636,12 @@ func (cp *ControlPlane) Recompute() {
 	cp.stats.Recomputes++
 	cp.stats.LastConvergence = cp.eng.Now()
 	cp.epoch++
+	tracing := cp.rec != nil
+	if tracing {
+		cp.rec.Record(cp.eng.Now(), trace.KindRecomputeStart, 0, -1, -1, -1,
+			int64(len(cp.pending)+len(cp.seeds)), int64(cp.stats.Recomputes))
+	}
+	recBefore, skipBefore := cp.stats.DstRecomputed, cp.stats.DstSkipped
 
 	staggered := cp.staggered()
 	if staggered {
@@ -674,6 +704,10 @@ func (cp *ControlPlane) Recompute() {
 	}
 	cp.recountOverrides()
 	cp.overridesStale = false
+	if tracing {
+		cp.rec.Record(cp.eng.Now(), trace.KindRecomputeEnd, 0, -1, -1, -1,
+			int64(cp.stats.DstRecomputed-recBefore), int64(cp.stats.DstSkipped-skipBefore))
+	}
 }
 
 // recountOverrides refreshes Stats.Overrides against the tables

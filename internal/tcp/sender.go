@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/netem"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // SenderStats accumulates per-sender counters. The paper's Figure 1
@@ -102,6 +103,14 @@ type Sender struct {
 
 	done bool
 
+	// rec, when non-nil, receives structured trace events; every trace
+	// point is nil-guarded. lastCwnd/lastRTO remember the last recorded
+	// values so cwnd/RTO events fire only on change (and only while
+	// tracing — untraced runs never touch them).
+	rec      *trace.Recorder
+	lastCwnd int64
+	lastRTO  sim.Time
+
 	Stats SenderStats
 
 	// OnAllAcked fires once when every granted byte has been
@@ -140,6 +149,11 @@ type SenderOptions struct {
 	// ACK instead of one segment per RTT, repairing multi-loss windows
 	// in roughly one round trip (RFC 2018/6675, simplified).
 	EnableSACK bool
+	// Recorder, when non-nil, receives structured trace events for this
+	// sender (segment sends, acks, cwnd/RTO moves, recovery episodes,
+	// subflow lifecycle). Tracing observes only: it never schedules
+	// events or perturbs the transmission sequence.
+	Recorder *trace.Recorder
 }
 
 // NewSender creates a sender, registers it on its host for ACK delivery
@@ -179,6 +193,7 @@ func NewSender(eng *sim.Engine, cfg Config, opt SenderOptions) *Sender {
 		adaptive:    opt.AdaptiveDupThresh,
 		adaptiveMax: adaptiveMax,
 		sackEnabled: opt.EnableSACK,
+		rec:         opt.Recorder,
 		Cwnd:        float64(cfg.InitialWindow * cfg.MSS),
 		Ssthresh:    1 << 30,
 		rto:         cfg.InitialRTO,
@@ -192,7 +207,13 @@ func NewSender(eng *sim.Engine, cfg Config, opt SenderOptions) *Sender {
 func (s *Sender) Config() Config { return s.cfg }
 
 // Start begins transmission.
-func (s *Sender) Start() { s.trySend() }
+func (s *Sender) Start() {
+	if s.rec != nil {
+		s.rec.Record(s.eng.Now(), trace.KindSubflowOpen, s.flowID, s.subflow,
+			int32(s.host.ID()), int32(s.dst), int64(s.srcPort), 0)
+	}
+	s.trySend()
+}
 
 // Done reports whether every granted byte has been acknowledged and the
 // source is exhausted.
@@ -225,6 +246,10 @@ func (s *Sender) HandlePacket(p *netem.Packet) {
 		return
 	}
 	s.Stats.AcksReceived++
+	if s.rec != nil {
+		s.rec.Record(s.eng.Now(), trace.KindAck, s.flowID, s.subflow,
+			int32(s.host.ID()), int32(s.dst), p.AckSeq, s.Flight())
+	}
 	if p.EchoTS > 0 {
 		s.sampleRTT(s.eng.Now() - p.EchoTS)
 	}
@@ -252,7 +277,26 @@ func (s *Sender) HandlePacket(p *netem.Packet) {
 		// Stale ACK (reordered below snd.una): ignore.
 	}
 	s.trySend()
+	s.traceWindow()
 	s.checkDone()
+}
+
+// traceWindow records cwnd/RTO trace events when either has moved since
+// the last recording. Untraced runs exit on the first nil check.
+func (s *Sender) traceWindow() {
+	if s.rec == nil {
+		return
+	}
+	if c := int64(s.Cwnd); c != s.lastCwnd {
+		s.rec.Record(s.eng.Now(), trace.KindCwnd, s.flowID, s.subflow,
+			int32(s.host.ID()), int32(s.dst), c, int64(s.Ssthresh))
+		s.lastCwnd = c
+	}
+	if s.rto != s.lastRTO {
+		s.rec.Record(s.eng.Now(), trace.KindRTO, s.flowID, s.subflow,
+			int32(s.host.ID()), int32(s.dst), int64(s.rto), int64(s.srtt))
+		s.lastRTO = s.rto
+	}
 }
 
 func (s *Sender) onNewAck(ack int64) {
@@ -315,6 +359,10 @@ func (s *Sender) enterRecovery() {
 	s.Stats.FastRetransmits++
 	s.Ssthresh = s.halfFlight()
 	s.recover = s.sndNxt
+	if s.rec != nil {
+		s.rec.Record(s.eng.Now(), trace.KindFastRetransmit, s.flowID, s.subflow,
+			int32(s.host.ID()), int32(s.dst), s.recover, int64(s.Ssthresh))
+	}
 	s.inRecovery = true
 	s.sackRetx = nil
 	s.retransmitFirstUnacked()
@@ -351,10 +399,17 @@ func (s *Sender) onTimeout() {
 	s.sackRetx = nil
 	// Go-back-N: resume from the first unacknowledged byte.
 	s.sndNxt = s.sndUna
+	if s.rec != nil {
+		// A timeout is also the trace's subflow-stall signal: the window
+		// drained without a recovery path and only the timer moved us.
+		s.rec.Record(s.eng.Now(), trace.KindTimeout, s.flowID, s.subflow,
+			int32(s.host.ID()), int32(s.dst), int64(s.rto), s.sndUna)
+	}
 	if s.OnCongestionEvent != nil {
 		s.OnCongestionEvent()
 	}
 	s.trySend()
+	s.traceWindow()
 	// trySend restarts the timer when it transmits; if it could not
 	// (e.g. zero flight because everything was acknowledged racefully),
 	// ensure we are still armed while data is outstanding.
@@ -472,6 +527,14 @@ func (s *Sender) transmit(m mapping, retx bool) {
 	if retx {
 		s.Stats.Retransmissions++
 	}
+	if s.rec != nil {
+		kind := trace.KindSegmentSend
+		if retx {
+			kind = trace.KindSegmentRetx
+		}
+		s.rec.Record(s.eng.Now(), kind, s.flowID, s.subflow,
+			int32(s.host.ID()), int32(s.dst), m.subSeq, int64(m.n))
+	}
 	iface := s.iface
 	if s.ifacePicker != nil {
 		iface = s.ifacePicker()
@@ -544,6 +607,10 @@ func (s *Sender) checkDone() {
 	}
 	s.done = true
 	s.timer.Stop()
+	if s.rec != nil {
+		s.rec.Record(s.eng.Now(), trace.KindSubflowClose, s.flowID, s.subflow,
+			int32(s.host.ID()), int32(s.dst), s.sndUna, 0)
+	}
 	if s.OnAllAcked != nil {
 		s.OnAllAcked()
 	}

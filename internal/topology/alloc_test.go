@@ -50,3 +50,48 @@ func TestHealthyForwardingAllocationFree(t *testing.T) {
 		t.Error("network pool recycled nothing; delivery terminal is not returning packets")
 	}
 }
+
+// TestTraceDisabledAllocationFree pins the trace subsystem's
+// zero-overhead-when-disabled contract on the data plane: with a nil
+// recorder explicitly installed on every link and switch — exactly the
+// state an untraced run arms — the full packet journey must stay
+// allocation-free. Every trace point is compiled in; disabled, each
+// must cost only its nil-guard branch.
+func TestTraceDisabledAllocationFree(t *testing.T) {
+	eng := sim.NewEngine()
+	ft := NewFatTree(eng, FatTreeConfig{K: 4, Link: DefaultLinkConfig()})
+	for _, l := range ft.Links {
+		l.SetRecorder(nil)
+	}
+	for _, sw := range ft.Switches {
+		sw.SetRecorder(nil)
+	}
+	src := ft.Hosts[0]
+	dst := ft.Hosts[len(ft.Hosts)-1]
+	var sport uint16 = 1024
+	forward := func() {
+		p := src.NewPacket()
+		p.Src = src.ID()
+		p.Dst = dst.ID()
+		p.SrcPort = sport
+		p.DstPort = 80
+		p.Size = 1500
+		p.PayloadLen = 1460
+		p.FlowID = 1
+		p.Flags = netem.FlagData
+		sport++
+		src.Send(p)
+		eng.Run()
+	}
+	before := dst.RxPackets
+	for i := 0; i < 32; i++ {
+		forward()
+	}
+	const runs = 200
+	if allocs := testing.AllocsPerRun(runs, forward); allocs != 0 {
+		t.Errorf("forwarding with tracing disabled allocates %.2f per packet journey, want 0", allocs)
+	}
+	if got := dst.RxPackets - before; got < 32+runs {
+		t.Fatalf("only %d packets delivered; the measured path did not run", got)
+	}
+}

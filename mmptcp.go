@@ -34,6 +34,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/tcp"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // Protocol selects the transport under test.
@@ -145,6 +146,79 @@ type MetricsConfig struct {
 	SnapshotInterval sim.Time
 }
 
+// TraceMode selects how the structured event recorder stores events.
+type TraceMode string
+
+// Trace recording modes.
+const (
+	// TraceOff disables the recorder entirely (the default). Trace
+	// points stay compiled in but cost one nil check each; the hot path
+	// is allocation-identical to a build without tracing.
+	TraceOff TraceMode = ""
+	// TraceRing keeps the newest Trace.Buffer events in a preallocated
+	// ring — a flight recorder: O(1) memory however long the run, the
+	// tail of history available when something goes wrong.
+	TraceRing TraceMode = "ring"
+	// TraceFull retains every recorded event (up to Trace.MaxEvents) for
+	// complete timelines of small runs.
+	TraceFull TraceMode = "full"
+)
+
+// Default trace storage sizes (see TraceConfig).
+const (
+	// DefaultTraceBuffer is the ring capacity when Trace.Buffer is zero.
+	DefaultTraceBuffer = 65536
+	// DefaultTraceMaxEvents caps full-mode retention when
+	// Trace.MaxEvents is zero.
+	DefaultTraceMaxEvents = 1 << 20
+)
+
+// TraceConfig is the observability section of Config: whether a run
+// records a structured event trace, how events are stored, and which
+// flows are kept. The zero value is off — and off really is free: every
+// trace point reduces to a nil-receiver check, pinned by the
+// allocation-free forwarding tests and the engine-throughput benchmark.
+//
+// Tracing observes and never perturbs: a traced run's Results are
+// byte-identical to the same config untraced (trace storage lives
+// outside the packet pools and consumes no RNG).
+type TraceConfig struct {
+	// Mode selects off (default), ring, or full storage; the string
+	// "off" is accepted as a spelled-out zero value.
+	Mode TraceMode
+
+	// Buffer is the ring capacity in events (TraceRing only); zero
+	// means DefaultTraceBuffer. One event is 48 bytes, so the default
+	// ring holds ~3 MB regardless of run length.
+	Buffer int
+
+	// Flows, when non-empty, restricts flow-scoped events to the listed
+	// flow IDs (flow IDs start at 1, in spawn order: long flows first).
+	// Fabric and control-plane events (drops attributable to no flow,
+	// link state, FIB flips, recomputes, faults) are always recorded.
+	Flows []uint64
+
+	// MaxEvents bounds full-mode retention; zero means
+	// DefaultTraceMaxEvents. Events beyond the cap are counted
+	// (Recorder.Lost) but not stored.
+	MaxEvents int
+}
+
+// recorderOptions translates the public trace section into the
+// recorder's own options. Call only after applyDefaults.
+func (c *Config) recorderOptions() trace.Options {
+	mode := trace.Ring
+	if c.Trace.Mode == TraceFull {
+		mode = trace.Full
+	}
+	return trace.Options{
+		Mode:      mode,
+		Buffer:    c.Trace.Buffer,
+		MaxEvents: c.Trace.MaxEvents,
+		Flows:     c.Trace.Flows,
+	}
+}
+
 // Config describes one experiment. The zero value is not runnable; use
 // PaperConfig or SmallConfig as starting points, or fill the required
 // fields (Protocol, ShortFlows, ArrivalRate).
@@ -220,6 +294,11 @@ type Config struct {
 	// optional rolling snapshots; see MetricsConfig. The zero value keeps
 	// per-flow records (the historical behaviour).
 	Metrics MetricsConfig
+
+	// Trace enables the structured event recorder — a typed flight
+	// recorder over transports, queues, routing and faults; see
+	// TraceConfig. The zero value is off and costs nothing.
+	Trace TraceConfig
 
 	// Control.
 	Seed       uint64
@@ -352,6 +431,34 @@ func (c *Config) applyDefaults() error {
 	}
 	if c.Metrics.SnapshotInterval < 0 {
 		return fmt.Errorf("mmptcp: negative Metrics.SnapshotInterval %v", c.Metrics.SnapshotInterval)
+	}
+	switch c.Trace.Mode {
+	case "off": // spelled-out zero value
+		c.Trace.Mode = TraceOff
+	case TraceOff, TraceRing, TraceFull:
+	default:
+		return fmt.Errorf("mmptcp: unknown trace mode %q (want %q, %q or %q)",
+			c.Trace.Mode, "off", TraceRing, TraceFull)
+	}
+	if c.Trace.Buffer < 0 {
+		return fmt.Errorf("mmptcp: negative Trace.Buffer %d", c.Trace.Buffer)
+	}
+	if c.Trace.MaxEvents < 0 {
+		return fmt.Errorf("mmptcp: negative Trace.MaxEvents %d", c.Trace.MaxEvents)
+	}
+	if c.Trace.Mode == TraceOff {
+		// A sized buffer or a flow filter on a disabled trace is a config
+		// bug (the knobs would silently do nothing); reject it loudly.
+		if c.Trace.Buffer != 0 || c.Trace.MaxEvents != 0 || len(c.Trace.Flows) != 0 {
+			return fmt.Errorf("mmptcp: Trace.Buffer/MaxEvents/Flows set but Trace.Mode is off")
+		}
+	} else {
+		if c.Trace.Buffer == 0 {
+			c.Trace.Buffer = DefaultTraceBuffer
+		}
+		if c.Trace.MaxEvents == 0 {
+			c.Trace.MaxEvents = DefaultTraceMaxEvents
+		}
 	}
 	return nil
 }

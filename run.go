@@ -11,6 +11,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -108,6 +109,11 @@ type RunInstance struct {
 	shape Shape
 	eng   *sim.Engine
 	net   *topology.Network
+	// rec is the structured event recorder armed for the next run (nil
+	// when the config's Trace section is off). It is re-armed — reused
+	// when the trace options match, rebuilt otherwise — by Reset, so a
+	// pooled flight recorder costs its storage once per instance.
+	rec *trace.Recorder
 }
 
 // NewRunInstance builds the engine and topology for cfg. The returned
@@ -122,11 +128,38 @@ func NewRunInstance(cfg Config) (*RunInstance, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &RunInstance{shape: cfg.shape(), eng: eng, net: net}, nil
+	ri := &RunInstance{shape: cfg.shape(), eng: eng, net: net}
+	ri.armRecorder(&cfg)
+	return ri, nil
 }
 
 // Shape returns the structural key the instance serves.
 func (ri *RunInstance) Shape() Shape { return ri.shape }
+
+// Recorder returns the structured event recorder armed for the
+// instance's current run, or nil when tracing is off. After a run it
+// holds the run's events; after Reset it is empty (or replaced, if the
+// new config's trace options differ). Flight-recorder drivers read it
+// between Run and the next Reset.
+func (ri *RunInstance) Recorder() *trace.Recorder { return ri.rec }
+
+// armRecorder points ri.rec at a recorder matching cfg's trace section:
+// nil when tracing is off, the existing recorder reset in place when
+// its options already match, a fresh one otherwise. cfg must have
+// defaults applied. With tracing off this is a single nil store — the
+// pooled Reset path stays allocation-free.
+func (ri *RunInstance) armRecorder(cfg *Config) {
+	if cfg.Trace.Mode == TraceOff {
+		ri.rec = nil
+		return
+	}
+	opts := cfg.recorderOptions()
+	if ri.rec.Matches(opts) {
+		ri.rec.Reset()
+		return
+	}
+	ri.rec = trace.NewRecorder(opts)
+}
 
 // Reset restores the instance to the state a fresh NewRunInstance(cfg)
 // would have: engine clock at zero with no pending events, every switch,
@@ -143,6 +176,7 @@ func (ri *RunInstance) Reset(cfg Config) error {
 	}
 	ri.eng.Reset()
 	ri.net.Reset(cfg.Seed)
+	ri.armRecorder(&cfg)
 	return nil
 }
 
@@ -183,6 +217,25 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 		return nil, err
 	}
 	return inst.Run(ctx, cfg)
+}
+
+// RunTraced is Run plus the recorder: it executes one experiment with
+// cfg's Trace section armed and returns the recorder holding the run's
+// events alongside the Results. The recorder is nil when cfg.Trace.Mode
+// is off — callers wanting a trace must ask for one. Results are
+// byte-identical to an untraced Run of the same config (tracing
+// observes, never perturbs); export the events with WriteJSONL or
+// WriteChromeTrace.
+func RunTraced(cfg Config) (*Results, *trace.Recorder, error) {
+	inst, err := NewRunInstance(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := inst.Run(context.Background(), cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, inst.rec, nil
 }
 
 // runPooled is the sweep worker's pooled path: draw an instance for the
@@ -226,6 +279,17 @@ func runWith(ctx context.Context, cfg Config, inst *RunInstance) (*Results, erro
 	}
 	rootRNG := sim.NewRNG(cfg.Seed)
 
+	// Arm the data plane's trace points. rec is nil on untraced runs —
+	// the stores below then just re-assert the nil the resets left
+	// behind, and every trace point stays a not-taken branch.
+	rec := inst.rec
+	for _, l := range net.Links {
+		l.SetRecorder(rec)
+	}
+	for _, sw := range net.Switches {
+		sw.SetRecorder(rec)
+	}
+
 	// Network dynamics. The fault plan draws from its own RNG stream —
 	// not rootRNG — so a faulted run and its healthy twin share an
 	// identical workload, and the comparison isolates the failures.
@@ -241,6 +305,7 @@ func runWith(ctx context.Context, cfg Config, inst *RunInstance) (*Results, erro
 		if err != nil {
 			return nil, err
 		}
+		faultPlan.SetRecorder(rec)
 		// Failure-aware path counting: while any link is excluded from
 		// routing, MMPTCP's duplicate-ACK threshold derives from the
 		// live ECMP DAG instead of the static topology formula.
@@ -255,6 +320,7 @@ func runWith(ctx context.Context, cfg Config, inst *RunInstance) (*Results, erro
 			if err != nil {
 				return nil, err
 			}
+			controlPlane.SetRecorder(rec)
 			faultPlan.OnRouteChange = controlPlane.Invalidate
 		}
 	}
@@ -305,14 +371,19 @@ func runWith(ctx context.Context, cfg Config, inst *RunInstance) (*Results, erro
 			Start: 0,
 		}}
 		conn, err := Dial(eng, net, cfg, DialConfig{
-			FlowID: nextFlowID,
-			Src:    src,
-			Dst:    assign.Partner[src],
-			Size:   -1,
-			RNG:    rootRNG.Split(),
+			FlowID:   nextFlowID,
+			Src:      src,
+			Dst:      assign.Partner[src],
+			Size:     -1,
+			RNG:      rootRNG.Split(),
+			Recorder: rec,
 		})
 		if err != nil {
 			return nil, err
+		}
+		if rec != nil {
+			rec.Record(eng.Now(), trace.KindFlowStart, nextFlowID, -1,
+				int32(src), int32(assign.Partner[src]), -1, 0)
 		}
 		lf.conn = conn
 		longs = append(longs, lf)
@@ -350,9 +421,14 @@ func runWith(ctx context.Context, cfg Config, inst *RunInstance) (*Results, erro
 		}}
 		conn, err := Dial(eng, net, cfg, DialConfig{
 			FlowID: id, Src: src, Dst: dst, Size: size, RNG: rootRNG.Split(),
+			Recorder: rec,
 		})
 		if err != nil {
 			panic(err) // config was validated; this cannot happen
+		}
+		if rec != nil {
+			rec.Record(eng.Now(), trace.KindFlowStart, id, -1,
+				int32(src), int32(dst), size, 0)
 		}
 		sf.conn = conn
 		shorts[id] = sf
@@ -362,6 +438,10 @@ func runWith(ctx context.Context, cfg Config, inst *RunInstance) (*Results, erro
 		conn.Receiver().OnComplete = func() {
 			sf.rec.Completed = true
 			sf.rec.End = eng.Now()
+			if rec != nil {
+				rec.Record(eng.Now(), trace.KindFlowEnd, id, -1,
+					int32(src), int32(dst), conn.Receiver().Delivered(), 0)
+			}
 			completed++
 			if completed == cfg.ShortFlows && spawner.Spawned() == cfg.ShortFlows {
 				eng.Stop()

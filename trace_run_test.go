@@ -1,0 +1,250 @@
+package mmptcp
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// traceFaultSuite is the byte-identity matrix: faulted runs with global
+// repair on both hash-seeded multi-rooted fabrics (FatTree and VL2), so
+// the trace points on every layer — transports, links, switches,
+// control plane, fault injector — fire while the comparison runs.
+func traceFaultSuite() []Config {
+	ft := tiny(ProtoMMPTCP, 40)
+	ft.MaxSimTime = 15 * Second
+	ft.Faults = FaultsConfig{
+		Events:          FailCables(LayerAgg, 2, 150*Millisecond, 900*Millisecond),
+		ReconvergeDelay: 20 * Millisecond,
+	}
+	ft.Routing.Mode = RoutingGlobal
+
+	vl2 := tiny(ProtoTCP, 40)
+	vl2.Topology = TopoVL2
+	vl2.K = 4
+	vl2.HostsPerEdge = 2
+	vl2.MaxSimTime = 15 * Second
+	vl2.Faults = FaultsConfig{
+		Events:          FailCables(LayerAgg, 2, 150*Millisecond, 600*Millisecond),
+		ReconvergeDelay: 50 * Millisecond,
+	}
+	vl2.Routing.Mode = RoutingGlobal
+
+	return []Config{ft, vl2}
+}
+
+// TestTracedRunByteIdentical is the tracing contract: a traced run's
+// Results are byte-identical to the untraced run's — ring or full mode,
+// serial or parallel, fresh or pooled instances — because trace points
+// only observe (no engine events, no RNG draws, no pool traffic). Only
+// the Config echo's Trace section differs, by construction; it is
+// normalised before comparison.
+func TestTracedRunByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault suite is slow")
+	}
+	mk := func(mode TraceMode) []Config {
+		configs := traceFaultSuite()
+		for i := range configs {
+			configs[i].Trace.Mode = mode
+			configs[i].Seed = uint64(i + 1)
+		}
+		return configs
+	}
+	baseline, err := RunSweep(mk(TraceOff), SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name    string
+		mode    TraceMode
+		workers int
+		pool    bool
+	}{
+		{"ring serial", TraceRing, 1, false},
+		{"ring 4 workers", TraceRing, 4, false},
+		{"ring pooled", TraceRing, 1, true},
+		{"full serial", TraceFull, 1, false},
+	} {
+		got, err := RunSweep(mk(tc.mode), SweepOptions{Workers: tc.workers, Pool: tc.pool})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			g, b := *got[i], *baseline[i]
+			g.Config.Trace = TraceConfig{}
+			b.Config.Trace = TraceConfig{}
+			if !reflect.DeepEqual(&g, &b) {
+				t.Errorf("%s, config %d: traced Results diverged from untraced", tc.name, i)
+			}
+		}
+	}
+}
+
+// TestTracedRunCapture: a traced faulted run actually captures the
+// storyline — flow lifecycle, fault injection and repair, link state,
+// control-plane recomputes — in time order.
+func TestTracedRunCapture(t *testing.T) {
+	cfg := traceFaultSuite()[0]
+	cfg.Trace.Mode = TraceFull
+	// The default full-mode cap truncates this run mid-story (~1.9M
+	// events); raise it so the late repair events are retained too.
+	cfg.Trace.MaxEvents = 4 << 20
+	res, rec, err := RunTraced(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec == nil {
+		t.Fatal("RunTraced returned a nil recorder with tracing on")
+	}
+	if rec.Len() == 0 {
+		t.Fatal("traced run recorded no events")
+	}
+	if rec.Lost() != 0 {
+		t.Fatalf("full trace lost %d events; raise MaxEvents so the checks below see everything", rec.Lost())
+	}
+	if res.FaultEvents == 0 {
+		t.Fatal("fault suite resolved no fault events; the scenario is broken")
+	}
+	kinds := make(map[trace.Kind]int)
+	last := SimTime(-1)
+	for _, e := range rec.Events() {
+		kinds[e.Kind]++
+		if e.At < last {
+			t.Fatalf("events out of order: %v after %v", e.At, last)
+		}
+		last = e.At
+	}
+	for _, want := range []trace.Kind{
+		trace.KindFlowStart, trace.KindFlowEnd, trace.KindSegmentSend,
+		trace.KindAck, trace.KindSubflowOpen, trace.KindEnqueue,
+		trace.KindFaultInject, trace.KindFaultRepair, trace.KindLinkDown,
+		trace.KindLinkUp, trace.KindRecomputeStart, trace.KindRecomputeEnd,
+	} {
+		if kinds[want] == 0 {
+			t.Errorf("traced faulted run recorded no %v events", want)
+		}
+	}
+	// Every flow the workload spawned starts exactly once.
+	if got, want := kinds[trace.KindFlowStart], res.Spawned+len(res.LongFlows); got != want {
+		t.Errorf("%d flow-start events, want %d (spawned shorts + longs)", got, want)
+	}
+}
+
+// TestTraceFlowFilterRun: with a flow filter, flow-scoped events are
+// restricted to the requested flows while fabric/control events (flow
+// 0) still record.
+func TestTraceFlowFilterRun(t *testing.T) {
+	cfg := traceFaultSuite()[0]
+	cfg.Trace.Mode = TraceFull
+	cfg.Trace.Flows = []uint64{1}
+	_, rec, err := RunTraced(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flowScoped, fabric int
+	for _, e := range rec.Events() {
+		switch e.Flow {
+		case 0:
+			fabric++
+		case 1:
+			flowScoped++
+		default:
+			t.Fatalf("filtered trace kept flow %d event %v", e.Flow, e.Kind)
+		}
+	}
+	if flowScoped == 0 {
+		t.Error("filter recorded nothing for the requested flow")
+	}
+	if fabric == 0 {
+		t.Error("filter suppressed fabric/control events")
+	}
+}
+
+// TestRecorderPooledReuse: RunInstance.Reset keeps an armed recorder
+// with matching options (reset in place), rebuilds on option changes,
+// and disarms when tracing turns off — the flight-recorder-over-sweeps
+// lifecycle.
+func TestRecorderPooledReuse(t *testing.T) {
+	cfg := traceFaultSuite()[0]
+	cfg.Trace.Mode = TraceRing
+	cfg.Trace.Buffer = 4096
+	inst, err := NewRunInstance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec1 := inst.Recorder()
+	if rec1 == nil {
+		t.Fatal("instance built with tracing on has no recorder")
+	}
+	if _, err := inst.Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	n1 := rec1.Len()
+	if n1 == 0 {
+		t.Fatal("armed recorder captured nothing")
+	}
+	if err := inst.Reset(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Recorder() != rec1 {
+		t.Error("Reset with identical trace options rebuilt the recorder")
+	}
+	if rec1.Len() != 0 {
+		t.Error("Reset left events in the recorder")
+	}
+	if _, err := inst.Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec1.Len(); got != n1 {
+		t.Errorf("replayed run captured %d events, first run %d — reuse is not clean", got, n1)
+	}
+	// Changed options rebuild; tracing off disarms.
+	bigger := cfg
+	bigger.Trace.Buffer = 8192
+	if err := inst.Reset(bigger); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Recorder() == rec1 {
+		t.Error("Reset with a different buffer kept the old recorder")
+	}
+	off := cfg
+	off.Trace = TraceConfig{}
+	if err := inst.Reset(off); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Recorder() != nil {
+		t.Error("Reset with tracing off left a recorder armed")
+	}
+}
+
+// TestTraceKnobValidation: the trace section rejects nonsense at config
+// time, and accepts the spelled-out "off".
+func TestTraceKnobValidation(t *testing.T) {
+	run := func(mutate func(*Config)) error {
+		cfg := tiny(ProtoTCP, 1)
+		mutate(&cfg)
+		_, err := Run(cfg)
+		return err
+	}
+	if err := run(func(c *Config) { c.Trace.Mode = "bogus" }); err == nil {
+		t.Error("unknown trace mode accepted")
+	}
+	if err := run(func(c *Config) { c.Trace.Mode = TraceRing; c.Trace.Buffer = -1 }); err == nil {
+		t.Error("negative trace buffer accepted")
+	}
+	if err := run(func(c *Config) { c.Trace.Mode = TraceFull; c.Trace.MaxEvents = -1 }); err == nil {
+		t.Error("negative trace max-events accepted")
+	}
+	if err := run(func(c *Config) { c.Trace.Buffer = 1024 }); err == nil {
+		t.Error("trace buffer without a mode accepted")
+	}
+	if err := run(func(c *Config) { c.Trace.Flows = []uint64{1} }); err == nil {
+		t.Error("trace flow filter without a mode accepted")
+	}
+	if err := run(func(c *Config) { c.Trace.Mode = "off" }); err != nil {
+		t.Errorf("spelled-out off mode rejected: %v", err)
+	}
+}
