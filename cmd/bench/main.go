@@ -83,6 +83,8 @@ func main() {
 	churnRecompute(*quick, add)
 	staggeredChurn(*quick, add)
 	sweepScale(*quick, add)
+	shardThroughput(*quick, add)
+	shardScale(*quick, add)
 	microBenches(add)
 
 	stopProf()
@@ -320,6 +322,80 @@ func sweepScale(quick bool, add addFunc) {
 		})
 		add(name, br, map[string]float64{"replicates": float64(reps)})
 	}
+}
+
+// runShardBench benchmarks one config through mmptcp.Run and returns
+// the measurement plus the shard-row metrics every variant carries:
+// event count, events/sec, and the core count the run had available —
+// the context a speedup ratio is meaningless without.
+func runShardBench(cfg mmptcp.Config) (testing.BenchmarkResult, map[string]float64) {
+	var last *mmptcp.Results
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := mmptcp.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+	})
+	nsPerOp := float64(br.T.Nanoseconds()) / float64(br.N)
+	m := map[string]float64{
+		"events":         float64(last.Events),
+		"events_per_sec": float64(last.Events) / (nsPerOp / 1e9),
+		"cores":          float64(runtime.GOMAXPROCS(0)),
+	}
+	if last.FaultEvents > 0 {
+		m["fault_events"] = float64(last.FaultEvents)
+	}
+	return br, m
+}
+
+// shardThroughput runs the engine-throughput workload sequentially and
+// with 2 and 4 shards (mmptcp.ShardThroughputBenchConfig — the identical
+// scenario each time), so the shard rows' speedup_vs_seq is a directly
+// measured like-for-like ratio. Each row carries the cores metric: on a
+// single-core runner the honest expectation is speedup ~1 or below
+// (barrier overhead, nothing to parallelise across), which is why the
+// CI speedup guard is core-gated.
+func shardThroughput(quick bool, add addFunc) {
+	variants := []struct {
+		name   string
+		shards int
+	}{
+		{"shard-throughput/seq", 0},
+		{"shard-throughput/2", 2},
+		{"shard-throughput/4", 4},
+	}
+	var seqNs float64
+	for _, v := range variants {
+		br, m := runShardBench(mmptcp.ShardThroughputBenchConfig(v.shards, quick))
+		nsPerOp := float64(br.T.Nanoseconds()) / float64(br.N)
+		if v.shards == 0 {
+			seqNs = nsPerOp
+		} else {
+			m["shards"] = float64(v.shards)
+			m["speedup_vs_seq"] = seqNs / nsPerOp
+		}
+		add(v.name, br, m)
+	}
+}
+
+// shardScale is the ROADMAP acceptance row: the K=16 churn scenario
+// (mmptcp.ShardScaleBenchConfig) sequential vs 4-shard, with the
+// measured speedup on the sharded row. The k16-seq row doubles as the
+// sequential K=16 trajectory — the wall time the parallel engine is
+// chartered to beat.
+func shardScale(quick bool, add addFunc) {
+	brSeq, mSeq := runShardBench(mmptcp.ShardScaleBenchConfig(0, quick))
+	add("shard-scale/k16-seq", brSeq, mSeq)
+	seqNs := float64(brSeq.T.Nanoseconds()) / float64(brSeq.N)
+
+	brSh, mSh := runShardBench(mmptcp.ShardScaleBenchConfig(4, quick))
+	mSh["shards"] = 4
+	mSh["speedup_vs_seq"] = seqNs / (float64(brSh.T.Nanoseconds()) / float64(brSh.N))
+	add("shard-scale/k16-churn", brSh, mSh)
 }
 
 // microBenches are the two allocation-free hot paths the regression

@@ -89,7 +89,8 @@ func main() {
 		capFact  = flag.Float64("degrade-capacity", 0, "scale the -fail-cables cables' capacity by this factor in (0,1] instead of hard failure")
 		seed     = flag.Uint64("seed", 1, "random seed (with -seeds: base for derived replicate seeds)")
 		seeds    = flag.Int("seeds", 1, "replicate the experiment under this many derived seeds")
-		workers  = flag.Int("workers", 0, "max concurrent replicates (0 = all CPUs)")
+		shards   = flag.Int("shards", 0, "partition the fabric across this many parallel event engines (0/1 = sequential; runs are deterministic for a fixed -seed and -shards)")
+		workers  = flag.Int("workers", 0, "max concurrent replicates (0 = all CPUs); sharded replicates each occupy -shards worker slots")
 		maxSimS  = flag.Float64("max-sim-seconds", 300, "virtual-time safety cap")
 		perflow  = flag.Bool("perflow", false, "emit per-flow CSV to stdout")
 		quiet    = flag.Bool("q", false, "suppress the report (useful with -perflow)")
@@ -122,6 +123,7 @@ func main() {
 		HotspotFraction: *hotFrac,
 		HotspotHost:     *hotHost,
 		Seed:            *seed,
+		Shards:          *shards,
 		MaxSimTime:      sim.FromSeconds(*maxSimS),
 		Metrics: mmptcp.MetricsConfig{
 			Mode:             mmptcp.MetricsMode(*metricsM),
@@ -392,8 +394,12 @@ func meanStd(xs []float64) (mean, std float64) {
 
 func report(res *mmptcp.Results, wall time.Duration) {
 	cfg := res.Config
-	fmt.Printf("protocol=%s topology=%s(k=%d,hosts/edge=%d) queue=%d seed=%d\n",
+	fmt.Printf("protocol=%s topology=%s(k=%d,hosts/edge=%d) queue=%d seed=%d",
 		cfg.Protocol, cfg.Topology, cfg.K, cfg.HostsPerEdge, cfg.QueueLimit, cfg.Seed)
+	if cfg.Shards > 1 {
+		fmt.Printf(" shards=%d", cfg.Shards)
+	}
+	fmt.Println()
 	fmt.Printf("simulated %v in %v wall (%d events, %.1fM events/s)\n",
 		res.Elapsed, wall.Round(time.Millisecond), res.Events,
 		float64(res.Events)/wall.Seconds()/1e6)

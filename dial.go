@@ -42,15 +42,17 @@ type DialConfig struct {
 
 // Dial creates a connection of the configured protocol between two hosts
 // of the network. It is exported so examples and tools can drive single
-// flows without the full experiment harness.
-func Dial(eng *sim.Engine, net *topology.Network, cfg Config, d DialConfig) (Conn, error) {
+// flows without the full experiment harness. Endpoints schedule on their
+// own host's engine — the same engine eng sequentially, the owning
+// shards' engines under a sharded fabric.
+func Dial(eng sim.EventScheduler, net *topology.Network, cfg Config, d DialConfig) (Conn, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return nil, err
 	}
 	src, dst := net.Hosts[d.Src], net.Hosts[d.Dst]
 	switch cfg.Protocol {
 	case ProtoTCP, ProtoDCTCP:
-		rcv := tcp.NewReceiver(eng, cfg.TCP, dst, d.FlowID, d.Size)
+		rcv := tcp.NewReceiver(dst.Engine(), cfg.TCP, dst, d.FlowID, d.Size)
 		opt := tcp.SenderOptions{
 			Host:       src,
 			Dst:        dst.ID(),
@@ -64,7 +66,7 @@ func Dial(eng *sim.Engine, net *topology.Network, cfg Config, d DialConfig) (Con
 		if cfg.Protocol == ProtoDCTCP {
 			opt.CC = &dctcp.CC{}
 		}
-		snd := tcp.NewSender(eng, cfg.TCP, opt)
+		snd := tcp.NewSender(src.Engine(), cfg.TCP, opt)
 		return &tcpConn{snd: snd, rcv: rcv}, nil
 	case ProtoMPTCP:
 		conn := mptcp.Dial(eng, mptcp.Config{TCP: cfg.TCP, Subflows: cfg.Subflows, SACK: cfg.SACK}, mptcp.Options{

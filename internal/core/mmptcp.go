@@ -161,7 +161,7 @@ type Options struct {
 // Conn is an MMPTCP connection: a packet-scatter sender, a shared
 // receiver, and an MPTCP connection created at phase switch.
 type Conn struct {
-	eng *sim.Engine
+	eng sim.EventScheduler // the source host's engine: sender-side scheduling
 	cfg Config
 	opt Options
 
@@ -184,8 +184,12 @@ type Conn struct {
 	OnSwitch func()
 }
 
-// Dial creates the connection (idle until Start).
-func Dial(eng *sim.Engine, cfg Config, opt Options) *Conn {
+// Dial creates the connection (idle until Start). Each endpoint binds to
+// its own host's engine — the receiver to the destination's, the senders
+// to the source's — which is the same engine sequentially and the owning
+// shards' engines under a sharded fabric; eng is accepted for
+// compatibility.
+func Dial(eng sim.EventScheduler, cfg Config, opt Options) *Conn {
 	cfg.applyDefaults()
 	if opt.RNG == nil {
 		panic("core: Options.RNG is required")
@@ -196,8 +200,9 @@ func Dial(eng *sim.Engine, cfg Config, opt Options) *Conn {
 	if opt.PathCount <= 0 {
 		opt.PathCount = 1
 	}
-	c := &Conn{eng: eng, cfg: cfg, opt: opt}
-	c.rcv = tcp.NewReceiver(eng, cfg.TCP, opt.DstHost, opt.FlowID, opt.Size)
+	_ = eng
+	c := &Conn{eng: opt.SrcHost.Engine(), cfg: cfg, opt: opt}
+	c.rcv = tcp.NewReceiver(opt.DstHost.Engine(), cfg.TCP, opt.DstHost, opt.FlowID, opt.Size)
 
 	cap := int64(-1)
 	if cfg.Strategy == SwitchDataVolume {
@@ -238,7 +243,7 @@ func Dial(eng *sim.Engine, cfg Config, opt Options) *Conn {
 	case ThresholdStandard:
 		psOpts.DupThresh = cfg.TCP.DupAckThreshold
 	}
-	c.ps = tcp.NewSender(eng, cfg.TCP, psOpts)
+	c.ps = tcp.NewSender(opt.SrcHost.Engine(), cfg.TCP, psOpts)
 	c.ps.OnAllAcked = func() {
 		c.psDone = true
 		c.checkDone()

@@ -84,7 +84,7 @@ type Options struct {
 // Connection is the sender side of an MPTCP connection plus its
 // (possibly shared) receiver.
 type Connection struct {
-	eng *sim.Engine
+	eng sim.EventScheduler // the source host's engine: sender-side scheduling
 	cfg Config
 
 	flowID   uint64
@@ -105,8 +105,12 @@ type Connection struct {
 
 // Dial creates the connection: a receiver on the destination host
 // (unless shared) and cfg.Subflows senders on the source host. Subflows
-// are idle until Start.
-func Dial(eng *sim.Engine, cfg Config, opt Options) *Connection {
+// are idle until Start. Endpoints bind to their own host's engine (the
+// receiver to the destination's, the senders to the source's) — the
+// same engine sequentially, the owning shards' under a sharded fabric —
+// so eng is accepted for compatibility but each endpoint schedules
+// where it lives.
+func Dial(eng sim.EventScheduler, cfg Config, opt Options) *Connection {
 	cfg.applyDefaults()
 	if opt.RNG == nil {
 		panic("mptcp: Options.RNG is required")
@@ -114,8 +118,9 @@ func Dial(eng *sim.Engine, cfg Config, opt Options) *Connection {
 	if opt.DstPort == 0 {
 		opt.DstPort = 80
 	}
+	_ = eng
 	c := &Connection{
-		eng:    eng,
+		eng:    opt.SrcHost.Engine(),
 		cfg:    cfg,
 		flowID: opt.FlowID,
 		next:   opt.DataStart,
@@ -129,7 +134,7 @@ func Dial(eng *sim.Engine, cfg Config, opt Options) *Connection {
 	}
 	c.rcv = opt.Receiver
 	if c.rcv == nil {
-		c.rcv = tcp.NewReceiver(eng, cfg.TCP, opt.DstHost, opt.FlowID, opt.Size)
+		c.rcv = tcp.NewReceiver(opt.DstHost.Engine(), cfg.TCP, opt.DstHost, opt.FlowID, opt.Size)
 		c.ownRcv = true
 	}
 
@@ -147,7 +152,7 @@ func Dial(eng *sim.Engine, cfg Config, opt Options) *Connection {
 		ifaces = 1
 	}
 	for i := 0; i < cfg.Subflows; i++ {
-		sub := tcp.NewSender(eng, cfg.TCP, tcp.SenderOptions{
+		sub := tcp.NewSender(opt.SrcHost.Engine(), cfg.TCP, tcp.SenderOptions{
 			Host:       opt.SrcHost,
 			Iface:      i % ifaces,
 			Dst:        opt.DstHost.ID(),

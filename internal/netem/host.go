@@ -60,6 +60,12 @@ func (h *Host) Engine() *sim.Engine { return h.eng }
 // nil (the default) disables recycling.
 func (h *Host) SetPool(pp *PacketPool) { h.pool = pp }
 
+// Rebind repoints the host at a shard's engine and packet pool, so
+// transports constructed against it schedule onto the owning shard's
+// heap and recycle into a pool that shard alone touches. Sequential
+// runs never call it.
+func (h *Host) Rebind(eng *sim.Engine, pp *PacketPool) { h.eng, h.pool = eng, pp }
+
 // NewPacket returns a zeroed packet for transmission, recycled from the
 // network's pool when one is available. Transport endpoints allocate
 // every outgoing packet through the host so delivery terminals can hand

@@ -137,6 +137,20 @@ type Link struct {
 	// check so the disabled cost is one predictable branch.
 	rec *trace.Recorder
 
+	// Receive-side wiring. On a sequential engine rxSched is the same
+	// engine, rxPool the same pool and rxRec the same recorder as the tx
+	// side, and the rx counters stay zero-folded. On a shard boundary the
+	// tx side (Enqueue/txDone and everything above) runs on the source
+	// node's shard while delivery runs on the destination's: rxSched is
+	// then the cross-shard outbox, and the rx-side blackhole accounting
+	// goes into rxBlackholed/rxBlackholedBytes so the two threads never
+	// write the same counters. FoldRx merges them at a barrier.
+	rxSched           sim.EventScheduler
+	rxPool            *PacketPool
+	rxRec             *trace.Recorder
+	rxBlackholed      int64
+	rxBlackholedBytes int64
+
 	// txDoneFn and deliverFn are the long-lived engine callbacks for the
 	// two per-packet events of a transmission, created once so the hot
 	// path schedules with ScheduleArg instead of allocating a closure
@@ -169,6 +183,7 @@ func NewLink(eng *sim.Engine, src, dst Node, rate int64, prop sim.Time, limit in
 		layer:    layer,
 		name:     fmt.Sprintf("%d->%d", src.ID(), dst.ID()),
 	}
+	l.rxSched = eng
 	l.txDoneFn = func(a any) { l.txDone(a.(*Packet)) }
 	l.deliverFn = func(a any) { l.deliver(a.(*Packet)) }
 	return l
@@ -177,12 +192,48 @@ func NewLink(eng *sim.Engine, src, dst Node, rate int64, prop sim.Time, limit in
 // SetPool installs the packet free list the link recycles dropped and
 // blackholed packets into. Topology builders wire every link of a
 // network to one shared pool; nil (the default) disables recycling.
-func (l *Link) SetPool(pp *PacketPool) { l.pool = pp }
+// Both sides share it until Rebind splits them.
+func (l *Link) SetPool(pp *PacketPool) { l.pool, l.rxPool = pp, pp }
 
 // SetRecorder installs (or, with nil, removes) the structured event
-// recorder. The run harness re-installs per run, so a pooled instance
-// never keeps recording into a previous run's recorder.
-func (l *Link) SetRecorder(r *trace.Recorder) { l.rec = r }
+// recorder on both sides of the link. The run harness re-installs per
+// run, so a pooled instance never keeps recording into a previous run's
+// recorder.
+func (l *Link) SetRecorder(r *trace.Recorder) { l.rec, l.rxRec = r, r }
+
+// SetRecorders installs separate recorders for the transmit and receive
+// sides, used by sharded runs where the two sides execute on different
+// shard threads and must append to different per-shard recorders.
+func (l *Link) SetRecorders(tx, rx *trace.Recorder) { l.rec, l.rxRec = tx, rx }
+
+// Rebind repoints the link's execution wiring for a sharded fabric: the
+// transmit side (enqueue, serialisation, queue accounting) runs on
+// txEng with txPool, while delivery is scheduled through rxSched (the
+// destination shard's engine, or a cross-shard outbox) and recycles
+// into rxPool. Passing the same engine and pool on both sides restores
+// sequential behaviour.
+func (l *Link) Rebind(txEng *sim.Engine, rxSched sim.EventScheduler, txPool, rxPool *PacketPool) {
+	l.eng = txEng
+	l.rxSched = rxSched
+	l.pool = txPool
+	l.rxPool = rxPool
+}
+
+// FoldRx merges the receive-side blackhole counters into Stats. The
+// coordinator calls it at a barrier (both shard threads paused) before
+// reading Stats for reports or snapshots; on a sequential link it is a
+// no-op after the first call since the rx counters stay zero.
+func (l *Link) FoldRx() {
+	l.Stats.Blackholed += l.rxBlackholed
+	l.Stats.BlackholedBytes += l.rxBlackholedBytes
+	l.rxBlackholed = 0
+	l.rxBlackholedBytes = 0
+}
+
+// TotalBlackholed returns the blackholed-packet count across both sides
+// without folding, for mid-run snapshots that must not mutate counters
+// owned by a paused shard thread.
+func (l *Link) TotalBlackholed() int64 { return l.Stats.Blackholed + l.rxBlackholed }
 
 // traceIDs returns the link's endpoints as trace identity fields.
 func (l *Link) traceIDs() (int32, int32) { return int32(l.src.ID()), int32(l.dst.ID()) }
@@ -328,11 +379,15 @@ func (l *Link) Reset() {
 	l.lossRate = 0
 	l.lossRNG = nil
 	l.rec = nil
+	l.rxRec = nil
+	l.rxBlackholed = 0
+	l.rxBlackholedBytes = 0
 	l.Stats = LinkStats{}
 }
 
 // blackhole accounts one packet swallowed by the down link and recycles
-// it: a blackholed packet has reached its terminal point.
+// it: a blackholed packet has reached its terminal point. This is the
+// transmit-side variant (enqueue, tx-done, queue drain).
 func (l *Link) blackhole(p *Packet) {
 	l.Stats.Blackholed++
 	l.Stats.BlackholedBytes += int64(p.Size)
@@ -341,6 +396,19 @@ func (l *Link) blackhole(p *Packet) {
 		l.rec.Record(l.eng.Now(), trace.KindBlackhole, p.FlowID, p.Subflow, src, dst, p.Seq, 0)
 	}
 	l.pool.Put(p)
+}
+
+// blackholeRx is the receive-side blackhole: an in-flight packet whose
+// delivery fires after the link failed. It runs on the destination
+// shard's thread, so it touches only rx-side state.
+func (l *Link) blackholeRx(p *Packet) {
+	l.rxBlackholed++
+	l.rxBlackholedBytes += int64(p.Size)
+	if l.rxRec != nil {
+		src, dst := l.traceIDs()
+		l.rxRec.Record(l.rxSched.Now(), trace.KindBlackhole, p.FlowID, p.Subflow, src, dst, p.Seq, 0)
+	}
+	l.rxPool.Put(p)
 }
 
 // String identifies the link for diagnostics.
@@ -434,7 +502,12 @@ func (l *Link) txDone(p *Packet) {
 	}
 	l.Stats.TxPackets++
 	l.Stats.TxBytes += int64(p.Size)
-	l.eng.ScheduleArg(l.prop, l.deliverFn, p)
+	// Absolute-time scheduling through rxSched: on a sequential engine
+	// this is exactly ScheduleArg(prop, ...); on a shard boundary it
+	// routes the delivery into the destination shard's heap (via the
+	// outbox), which is what makes the link the cut point of the fabric
+	// partition.
+	l.rxSched.AtArg(l.eng.Now()+l.prop, l.deliverFn, p)
 	if l.count > 0 {
 		l.accountQueue()
 		next := l.queue[l.head]
@@ -452,7 +525,7 @@ func (l *Link) txDone(p *Packet) {
 // case the packet is lost with everything else in flight.
 func (l *Link) deliver(p *Packet) {
 	if l.down {
-		l.blackhole(p)
+		l.blackholeRx(p)
 		return
 	}
 	p.Hops++

@@ -283,8 +283,18 @@ func TestLinkDownSwallowsInFlight(t *testing.T) {
 	if len(dst.packets) != 0 {
 		t.Fatal("in-flight packet survived the failure")
 	}
+	// In-flight swallows are receive-side damage: they accumulate in the
+	// rx counters (owned by the destination shard under sharding) and
+	// fold into Stats on demand.
+	if got := l.TotalBlackholed(); got != 1 {
+		t.Errorf("blackholed = %d, want 1", got)
+	}
+	l.FoldRx()
 	if l.Stats.Blackholed != 1 {
-		t.Errorf("blackholed = %d, want 1", l.Stats.Blackholed)
+		t.Errorf("blackholed after FoldRx = %d, want 1", l.Stats.Blackholed)
+	}
+	if got := l.TotalBlackholed(); got != 1 {
+		t.Errorf("blackholed after FoldRx = %d, want 1 (fold must not double-count)", got)
 	}
 	// The bits were serialised before the failure.
 	if l.Stats.TxPackets != 1 {

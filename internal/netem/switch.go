@@ -184,6 +184,10 @@ func (s *Switch) Reset() {
 // packets into; nil (the default) disables recycling.
 func (s *Switch) SetPool(pp *PacketPool) { s.pool = pp }
 
+// Rebind repoints the switch at its owning shard's engine and packet
+// pool; see Host.Rebind.
+func (s *Switch) Rebind(eng *sim.Engine, pp *PacketPool) { s.eng, s.pool = eng, pp }
+
 // SetRecorder installs (or, with nil, removes) the structured event
 // recorder; the run harness re-installs it per run.
 func (s *Switch) SetRecorder(r *trace.Recorder) { s.rec = r }

@@ -54,6 +54,8 @@ package routing
 import (
 	"bytes"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/netem"
 	"repro/internal/sim"
@@ -138,6 +140,14 @@ type Config struct {
 	// window a link may make before it is damped; defaults to 3 when
 	// HoldDown is set. Must not be negative.
 	FlapThreshold int
+	// Workers bounds the goroutines a recompute may fan its breadth-first
+	// passes across. Values below 2 keep the recompute fully serial (the
+	// default). Parallelism changes nothing observable: missing distance
+	// maps are discovered, counted and inserted in destination order on
+	// the calling thread, and each map is a pure function of its job's
+	// sources — only the map filling itself runs concurrently. The
+	// sharded run harness sets this to its shard count.
+	Workers int
 }
 
 // Validate checks the config for contradictions. Install runs it, and
@@ -425,6 +435,11 @@ type ControlPlane struct {
 	keyBuf   []byte
 	srcBuf   []*netem.Link
 
+	// missing is the recompute scratch holding the BFS jobs of one pass:
+	// the distance maps absent from distCache, discovered in destination
+	// order and computed serially or across cfg.Workers goroutines.
+	missing []bfsJob
+
 	// recomputeFn is the cached engine callback (avoids a method-value
 	// allocation per coalesced batch).
 	recomputeFn func()
@@ -665,26 +680,31 @@ func (cp *ControlPlane) Recompute() {
 	cp.seeds = cp.seeds[:0]
 	cp.fullPending = false
 
+	// Stage the missing distance maps: one BFS job per distinct absent
+	// signature, discovered in destination order. Inserting the entry
+	// (with its recycled map) at discovery time both deduplicates jobs
+	// and keeps the freeMaps pop order — and therefore every byte of the
+	// result — identical to the lazy serial pass this replaces.
+	cp.missing = cp.missing[:0]
+	for _, h := range cp.net.Hosts {
+		cp.signature(h.ID())
+		if _, ok := cp.distCache[string(cp.keyBuf)]; ok {
+			continue
+		}
+		e := &distEntry{dist: cp.grabMap(), epoch: cp.epoch}
+		cp.distCache[string(cp.keyBuf)] = e
+		cp.stats.BFSRuns++
+		cp.missing = append(cp.missing, bfsJob{
+			entry:   e,
+			sources: append([]*netem.Link(nil), cp.srcBuf...),
+		})
+	}
+	cp.runBFS()
+
 	for i, h := range cp.net.Hosts {
 		dst := h.ID()
-		// Live-attachment signature: the source switches of the
-		// destination's live access downlinks, in builder order. The
-		// distance map depends on nothing else.
-		cp.keyBuf = cp.keyBuf[:0]
-		cp.srcBuf = cp.srcBuf[:0]
-		for _, l := range cp.in[dst] {
-			if !l.RouteDead() {
-				cp.srcBuf = append(cp.srcBuf, l)
-				id := l.Src().ID()
-				cp.keyBuf = append(cp.keyBuf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
-			}
-		}
-		e, ok := cp.distCache[string(cp.keyBuf)]
-		if !ok {
-			e = &distEntry{dist: cp.bfs(cp.srcBuf), epoch: cp.epoch}
-			cp.distCache[string(cp.keyBuf)] = e
-			cp.stats.BFSRuns++
-		}
+		cp.signature(dst)
+		e := cp.distCache[string(cp.keyBuf)]
 		// A destination needs reconciling when its distances were
 		// rebuilt this pass, or when its attachment signature changed
 		// (same cached distances, different access links in the edge
@@ -893,21 +913,91 @@ func (cp *ControlPlane) entryDirty(e *distEntry) bool {
 	return false
 }
 
-// bfs returns hop distances from every switch to a destination whose
-// live access downlinks are sources (each source's src switch is one hop
-// away). Expansion walks the reversed live graph and never tunnels
-// through hosts. The returned map and the frontier slices come from the
-// plane's recycled scratch.
-func (cp *ControlPlane) bfs(sources []*netem.Link) map[netem.NodeID]int32 {
-	var dist map[netem.NodeID]int32
+// signature rebuilds cp.keyBuf and cp.srcBuf for destination dst: the
+// source switches of its live access downlinks in builder order (the
+// live-attachment signature its distance map is keyed by; the map
+// depends on nothing else).
+func (cp *ControlPlane) signature(dst netem.NodeID) {
+	cp.keyBuf = cp.keyBuf[:0]
+	cp.srcBuf = cp.srcBuf[:0]
+	for _, l := range cp.in[dst] {
+		if !l.RouteDead() {
+			cp.srcBuf = append(cp.srcBuf, l)
+			id := l.Src().ID()
+			cp.keyBuf = append(cp.keyBuf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+		}
+	}
+}
+
+// grabMap recycles (or makes) an empty distance map.
+func (cp *ControlPlane) grabMap() map[netem.NodeID]int32 {
 	if n := len(cp.freeMaps); n > 0 {
-		dist = cp.freeMaps[n-1]
+		dist := cp.freeMaps[n-1]
 		cp.freeMaps[n-1] = nil
 		cp.freeMaps = cp.freeMaps[:n-1]
-	} else {
-		dist = make(map[netem.NodeID]int32, len(cp.net.Switches))
+		return dist
 	}
-	frontier := cp.frontier[:0]
+	return make(map[netem.NodeID]int32, len(cp.net.Switches))
+}
+
+// bfsJob is one missing distance map awaiting its breadth-first pass:
+// the cache entry whose (empty) map to fill and the destination's live
+// access downlinks to flood from.
+type bfsJob struct {
+	entry   *distEntry
+	sources []*netem.Link
+}
+
+// runBFS fills every staged job's distance map — in order on the calling
+// thread, or fanned across cfg.Workers goroutines when configured. Each
+// job touches only its own map and read-only adjacency, so the filled
+// maps are identical either way.
+func (cp *ControlPlane) runBFS() {
+	jobs := cp.missing
+	if len(jobs) == 0 {
+		return
+	}
+	workers := cp.cfg.Workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for _, j := range jobs {
+			cp.frontier, cp.next = cp.bfsInto(j.entry.dist, j.sources, cp.frontier, cp.next)
+		}
+	} else {
+		var idx atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var frontier, next []netem.NodeID
+				for {
+					i := int(idx.Add(1)) - 1
+					if i >= len(jobs) {
+						return
+					}
+					frontier, next = cp.bfsInto(jobs[i].entry.dist, jobs[i].sources, frontier, next)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i := range jobs {
+		jobs[i] = bfsJob{}
+	}
+	cp.missing = jobs[:0]
+}
+
+// bfsInto fills dist with hop distances from every switch to a
+// destination whose live access downlinks are sources (each source's src
+// switch is one hop away). Expansion walks the reversed live graph and
+// never tunnels through hosts. The frontier scratch is threaded through
+// and returned (emptied) so serial callers keep the plane's recycled
+// slices and parallel workers keep their own.
+func (cp *ControlPlane) bfsInto(dist map[netem.NodeID]int32, sources []*netem.Link, frontier, next []netem.NodeID) ([]netem.NodeID, []netem.NodeID) {
+	frontier = frontier[:0]
 	for _, l := range sources {
 		id := l.Src().ID()
 		if _, seen := dist[id]; !seen {
@@ -915,7 +1005,7 @@ func (cp *ControlPlane) bfs(sources []*netem.Link) map[netem.NodeID]int32 {
 			frontier = append(frontier, id)
 		}
 	}
-	next := cp.next[:0]
+	next = next[:0]
 	for len(frontier) > 0 {
 		next = next[:0]
 		for _, v := range frontier {
@@ -935,8 +1025,7 @@ func (cp *ControlPlane) bfs(sources []*netem.Link) map[netem.NodeID]int32 {
 		}
 		frontier, next = next, frontier
 	}
-	cp.frontier, cp.next = frontier[:0], next[:0]
-	return dist
+	return frontier[:0], next[:0]
 }
 
 // reconcile computes the equal-cost set of every switch for destination

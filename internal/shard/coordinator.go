@@ -1,0 +1,156 @@
+package shard
+
+import "repro/internal/sim"
+
+// RunOptions parameterises one coordinated run.
+type RunOptions struct {
+	// Until is the virtual-time horizon (the run's MaxSimTime).
+	Until sim.Time
+	// Interrupt, when non-nil, is polled at every barrier; returning
+	// true abandons the run, as the sequential engine's SetInterrupt
+	// hook does. Barriers recur at least every lookahead of virtual
+	// time, so polling latency is bounded.
+	Interrupt func() bool
+}
+
+// worker is one shard's persistent execution thread: it parks on start,
+// runs its engine to the received window edge, and reports on done. The
+// channel pair is also the memory barrier that publishes everything the
+// control thread wrote at the barrier (fault state, FIB flips, freshly
+// dialed endpoints) to the shard thread and vice versa.
+type worker struct {
+	start chan sim.Time
+	done  chan struct{}
+}
+
+func (f *Fabric) startWorkers() {
+	f.workers = make([]worker, f.shards)
+	for i := range f.workers {
+		w := worker{start: make(chan sim.Time), done: make(chan struct{})}
+		f.workers[i] = w
+		go func(e *sim.Engine) {
+			for limit := range w.start {
+				e.RunUntil(limit)
+				w.done <- struct{}{}
+			}
+		}(f.engines[i])
+	}
+}
+
+func (f *Fabric) stopWorkers() {
+	for i := range f.workers {
+		close(f.workers[i].start)
+	}
+	f.workers = nil
+}
+
+// advanceShards raises every shard clock to t (the barrier time), so
+// control-plane callbacks running at the barrier observe the barrier
+// instant on whichever shard engine they consult, and events they
+// schedule relative to a shard's now land in that shard's future.
+func (f *Fabric) advanceShards(t sim.Time) {
+	for _, e := range f.engines {
+		e.AdvanceTo(t)
+	}
+}
+
+// Run executes the fabric until the horizon, a Stop request, or an
+// interrupt. It returns whether the run was stopped (vs drained or
+// timed out) and the virtual time it ended at — the stopping callback's
+// own firing time when stopped, Until otherwise (matching
+// sim.Engine.RunUntil's clock semantics). On a direct fabric this is
+// exactly control.RunUntil.
+//
+// Stop granularity: a Stop issued by a deferred completion takes effect
+// at the barrier that replays the completion. The window that produced
+// it has already run to its edge, so shard engines may process events
+// up to one window (at most lookahead plus the distance to the next
+// control event) past the stop time — events the sequential simulator
+// never reaches. The overrun is deterministic (windows depend only on
+// heap state, never on thread timing), and the returned stop time is
+// exact; only cumulative counters (per-link stats, processed-event
+// totals) include the overrun. This is the documented N-shard
+// divergence from the sequential oracle — see the package comment.
+func (f *Fabric) Run(opt RunOptions) (stopped bool, elapsed sim.Time) {
+	if f.direct {
+		f.control.RunUntil(opt.Until)
+		return f.stopped, f.control.Now()
+	}
+	f.startWorkers()
+	defer f.stopWorkers()
+
+	until := opt.Until
+	for {
+		// Barrier: commit cross-shard deliveries, then replay deferred
+		// completions in (time, shard) order. A completion may Stop the
+		// run — that ends it at the completion's own firing time.
+		f.flushOutboxes()
+		f.flushDeferred()
+		if f.stopped {
+			return true, f.stopTime
+		}
+		if opt.Interrupt != nil && opt.Interrupt() {
+			return false, f.control.Now()
+		}
+
+		c := f.control.PeekTime()
+		s := sim.MaxTime
+		for _, e := range f.engines {
+			if t := e.PeekTime(); t < s {
+				s = t
+			}
+		}
+		if c > until && s > until {
+			// Horizon reached (or fully drained): leave every clock at
+			// the horizon, as RunUntil would.
+			f.advanceShards(until)
+			f.control.RunUntil(until)
+			return false, until
+		}
+		if c <= s {
+			// Control-plane turn. Shard clocks advance to the barrier
+			// first so the control events (faults flipping link state,
+			// the spawner dialing onto shard engines, snapshots reading
+			// shard-owned counters) observe and schedule against the
+			// barrier instant.
+			f.advanceShards(c)
+			f.control.RunUntil(c)
+			continue
+		}
+		// Parallel window [s, w): every event strictly below w is
+		// causally independent of anything another shard does in the
+		// window, because a cross-shard send at t >= s arrives at
+		// t + prop >= s + lookahead >= w. Degradations only ever add
+		// delay on top of the as-built propagation the lookahead was
+		// computed from, so the bound survives faults.
+		w := s + f.lookahead
+		if w > c {
+			w = c
+		}
+		if w > until+1 {
+			w = until + 1
+		}
+		f.runWindow(w - 1)
+	}
+}
+
+// runWindow dispatches every shard with work below the window edge and
+// waits for all of them — the barrier. Shards whose next event is at or
+// past the edge are skipped; their clocks catch up at the next control
+// barrier or window they participate in.
+func (f *Fabric) runWindow(limit sim.Time) {
+	if f.dispatched == nil {
+		f.dispatched = make([]bool, f.shards)
+	}
+	for i, e := range f.engines {
+		f.dispatched[i] = e.PeekTime() <= limit
+		if f.dispatched[i] {
+			f.workers[i].start <- limit
+		}
+	}
+	for i := range f.engines {
+		if f.dispatched[i] {
+			<-f.workers[i].done
+		}
+	}
+}

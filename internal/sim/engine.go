@@ -75,8 +75,46 @@ func NewEngine() *Engine {
 	return &Engine{heap: make([]*Event, 0, 1024)}
 }
 
+// MaxTime is the largest representable virtual time. PeekTime returns it
+// for an empty queue, and RunUntil treats it as "run to exhaustion".
+const MaxTime = Time(1<<63 - 1)
+
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// PeekTime returns the timestamp of the earliest live event, or MaxTime
+// when no live events are pending. Cancelled events sitting at the head
+// of the heap are discarded on the way — a stale cancelled timer must not
+// masquerade as the next event time, or the sharded coordinator's window
+// computation (and AdvanceTo's past-event check) would trip on it.
+func (e *Engine) PeekTime() Time {
+	for len(e.heap) > 0 {
+		ev := e.heap[0]
+		if !ev.cancelled {
+			return ev.at
+		}
+		e.pop()
+		e.cancelled--
+		e.recycle(ev)
+	}
+	return MaxTime
+}
+
+// AdvanceTo raises the clock to t without executing anything. It is the
+// conservative-window barrier primitive: after a shard has drained its
+// events below the window edge, the coordinator advances every shard
+// clock to the barrier time so control-plane callbacks observing Now()
+// on paused shards read the barrier instant, not a stale event time.
+// Advancing past a pending live event panics — that would reorder it
+// into the past.
+func (e *Engine) AdvanceTo(t Time) {
+	if head := e.PeekTime(); head < t {
+		panic("sim: AdvanceTo past a pending event")
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
 
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
@@ -203,7 +241,7 @@ func (e *Engine) Reset() {
 
 // Run executes events until the queue is empty or Stop is called.
 func (e *Engine) Run() {
-	e.RunUntil(Time(1<<63 - 1))
+	e.RunUntil(MaxTime)
 }
 
 // RunUntil executes events with timestamps <= limit, then sets the clock
@@ -237,7 +275,7 @@ func (e *Engine) RunUntil(limit Time) {
 			e.stopped = true
 		}
 	}
-	if !e.stopped && e.now < limit && limit < Time(1<<63-1) {
+	if !e.stopped && e.now < limit && limit < MaxTime {
 		e.now = limit
 	}
 }

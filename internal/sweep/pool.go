@@ -31,6 +31,14 @@ type Options struct {
 	// means runtime.GOMAXPROCS(0). It is further capped at the job count.
 	Workers int
 
+	// SlotsPerTask is how many OS threads one job occupies (a sharded
+	// simulation runs SlotsPerTask engines in parallel). The effective
+	// worker count becomes max(1, Workers/SlotsPerTask) so that
+	// workers × shards never oversubscribes the Workers budget — with a
+	// defaulted budget, never exceeds GOMAXPROCS. Zero or one means each
+	// job is single-threaded (the default).
+	SlotsPerTask int
+
 	// OnDone, if non-nil, is called after each successful job with the
 	// number of jobs finished so far, the total, and the finished job's
 	// index. Calls are serialised by the pool, so OnDone may touch
@@ -60,6 +68,12 @@ func Run[T any](ctx context.Context, n int, opts Options, job func(ctx context.C
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.SlotsPerTask > 1 {
+		workers /= opts.SlotsPerTask
+		if workers < 1 {
+			workers = 1
+		}
 	}
 	if workers > n {
 		workers = n

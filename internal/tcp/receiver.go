@@ -25,7 +25,7 @@ type subState struct {
 // cumulative ACK generation, and one data-level interval set to detect
 // completion of the whole transfer.
 type Receiver struct {
-	eng  *sim.Engine
+	eng  sim.EventScheduler
 	cfg  Config
 	host *netem.Host
 
@@ -53,7 +53,7 @@ type Receiver struct {
 // NewReceiver creates a receiver for flowID expecting size data bytes
 // (-1 for an unbounded background flow) and registers it on the host at
 // the connection level, so it serves every subflow.
-func NewReceiver(eng *sim.Engine, cfg Config, host *netem.Host, flowID uint64, size int64) *Receiver {
+func NewReceiver(eng sim.EventScheduler, cfg Config, host *netem.Host, flowID uint64, size int64) *Receiver {
 	cfg.applyDefaults()
 	r := &Receiver{
 		eng:    eng,

@@ -37,7 +37,7 @@ type mapping struct {
 // drives one subflow; plain TCP is a single Sender with the identity
 // source. It implements netem.Endpoint to consume ACKs.
 type Sender struct {
-	eng  *sim.Engine
+	eng  sim.EventScheduler
 	cfg  Config
 	host *netem.Host
 
@@ -157,8 +157,11 @@ type SenderOptions struct {
 }
 
 // NewSender creates a sender, registers it on its host for ACK delivery
-// and leaves it idle until Start.
-func NewSender(eng *sim.Engine, cfg Config, opt SenderOptions) *Sender {
+// and leaves it idle until Start. Senders schedule against the host's
+// engine — the same engine for every node sequentially, the owning
+// shard's under the sharded fabric — so eng is accepted as the
+// scheduling interface and callers pass the host's engine.
+func NewSender(eng sim.EventScheduler, cfg Config, opt SenderOptions) *Sender {
 	cfg.applyDefaults()
 	if opt.Source == nil {
 		panic("tcp: sender needs a data source")

@@ -186,6 +186,30 @@ func NewFatTree(eng *sim.Engine, cfg FatTreeConfig) *FatTree {
 		f.setRouter(sw, coreRouters[i])
 	}
 
+	// Shard partitioning keeps pods whole: the edge and aggregation
+	// switches of pod p all land on shard p*shards/k, so the only
+	// cross-shard links are the agg<->core tier (plus core placement:
+	// cores spread round-robin, balancing the core heap load). More
+	// shards than pods would split pods — fall back to the generic
+	// contiguous split rather than pretend the hint still helps.
+	f.partitionHint = func(shards int) []int {
+		if shards > k {
+			return nil
+		}
+		assign := make([]int, len(f.Switches))
+		for i := range assign {
+			switch {
+			case i < numEdge: // edge: pod i/half
+				assign[i] = (i / half) * shards / k
+			case i < numEdge+numAgg: // agg: pod (i-numEdge)/half
+				assign[i] = ((i - numEdge) / half) * shards / k
+			default: // core
+				assign[i] = (i - numEdge - numAgg) % shards
+			}
+		}
+		return assign
+	}
+
 	f.pathCount = func(src, dst netem.NodeID) int {
 		switch {
 		case src == dst:

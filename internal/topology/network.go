@@ -113,6 +113,12 @@ type Network struct {
 	// instead of the static oracle. The run harness wires it to the
 	// fault injector.
 	degraded func() bool
+
+	// partitionHint, when set by a builder, maps a shard count to a
+	// per-switch shard assignment exploiting the topology's structure
+	// (the FatTree keeps pods whole). Nil means Partition's generic
+	// contiguous split. Returning nil from the hint also falls back.
+	partitionHint func(shards int) []int
 }
 
 // setRouter installs a router on a switch and records it for path

@@ -303,6 +303,19 @@ type Config struct {
 	// Control.
 	Seed       uint64
 	MaxSimTime sim.Time // safety cap; default 300 s of virtual time
+
+	// Shards partitions the fabric across that many event engines run in
+	// parallel under conservative lookahead (per-pod on FatTrees,
+	// contiguous switch groups otherwise). 0 and 1 run the sequential
+	// engine unchanged. Runs are deterministic for a fixed (Seed, Shards):
+	// cross-shard deliveries commit in (time, source shard, send order) —
+	// see internal/shard and the README's "Parallel engine" section.
+	// Negative values are rejected, as is a shard count exceeding the
+	// topology's switch count. Layer-wide loss degradation (a Degrade
+	// fault with Index -1 and LossRate > 0) shares one RNG across the
+	// whole layer and is rejected with Shards > 1; per-cable degradation
+	// (DegradeCables) composes fine.
+	Shards int
 }
 
 // PaperConfig returns the full-scale setup from the paper's Figure 1:
@@ -414,6 +427,17 @@ func (c *Config) applyDefaults() error {
 	if c.Faults.ReconvergeDelay < 0 {
 		return fmt.Errorf("mmptcp: negative Faults.ReconvergeDelay %v", c.Faults.ReconvergeDelay)
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("mmptcp: negative Shards %d", c.Shards)
+	}
+	if c.Shards > 1 {
+		for i, ev := range c.Faults.Events {
+			if ev.Kind == FaultDegrade && ev.Index == -1 && ev.LossRate > 0 {
+				return fmt.Errorf("mmptcp: Faults.Events[%d]: layer-wide loss degradation (Index -1, LossRate %v) shares one RNG across the layer and cannot run with Shards %d; target individual cables (DegradeCables) instead",
+					i, ev.LossRate, c.Shards)
+			}
+		}
+	}
 	switch c.Metrics.Mode {
 	case "":
 		c.Metrics.Mode = MetricsExact
@@ -478,6 +502,10 @@ type Shape struct {
 	QueueLimit    int
 	BottleneckBps int64
 	ECNThreshold  int
+	// Shards is structural: the partition wiring (per-shard engines,
+	// pools, outbox routing) is built with the instance, so a pooled
+	// instance only serves configs sharing its shard count.
+	Shards int
 }
 
 // Shape returns the config's structural pool key, after applying
@@ -502,6 +530,7 @@ func (c *Config) shape() Shape {
 		QueueLimit:    c.QueueLimit,
 		BottleneckBps: c.BottleneckBps,
 		ECNThreshold:  c.ECNThreshold,
+		Shards:        c.Shards,
 	}
 }
 
@@ -513,6 +542,7 @@ func (c *Config) routingConfig() routing.Config {
 		PerHopDelay:   c.Routing.PerHopDelay,
 		HoldDown:      c.Routing.HoldDown,
 		FlapThreshold: c.Routing.FlapThreshold,
+		Workers:       c.Shards,
 	}
 }
 

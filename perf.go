@@ -66,6 +66,58 @@ func SweepScaleBenchConfig(quick bool) Config {
 	return cfg
 }
 
+// ShardThroughputBenchConfig is the tracked parallel-engine comparison
+// workload: exactly the engine-throughput scenario with the fabric
+// partitioned across the given shard count (0 = the sequential oracle),
+// so the shard-throughput/{seq,2,4} rows in BENCH.json measure the same
+// experiment and their events/sec ratio is a like-for-like speedup.
+func ShardThroughputBenchConfig(shards int, quick bool) Config {
+	cfg := EngineBenchConfig(quick)
+	cfg.Shards = shards
+	return cfg
+}
+
+// ShardScaleBenchConfig is the ROADMAP's K=16 target scenario: a
+// 16-pod, 320-switch FatTree (3,456 hosts at full scale, 256 in quick
+// mode) under a steady trickle of aggregation-cable churn with global
+// repair — the fabric size the parallel engine exists for. cmd/bench
+// runs it sequentially and with 4 shards and records the measured
+// speedup; the CI guard holds the 2x floor only on runners with >= 4
+// cores, since on fewer cores the windowed barrier can only add
+// overhead.
+func ShardScaleBenchConfig(shards int, quick bool) Config {
+	cfg := Config{
+		Topology:    TopoFatTree,
+		K:           16,
+		Protocol:    ProtoMMPTCP,
+		ArrivalRate: 100,
+		Seed:        1,
+		Shards:      shards,
+	}
+	if quick {
+		cfg.HostsPerEdge = 2 // 256 hosts; the switch fabric keeps its full 320-switch K=16 shape
+		cfg.ShortFlows = 40
+		cfg.MaxSimTime = 1 * Second
+	} else {
+		cfg.HostsPerEdge = 27 // 3,456 hosts — the ROADMAP's K=16 fabric
+		cfg.ShortFlows = 200
+		cfg.MaxSimTime = 2 * Second
+	}
+	// A K=16 tree has 1,024 aggregation cables regardless of host
+	// count; a 60 s per-cable MTBF works out to ~17 cuts per simulated
+	// second — enough reconvergence traffic to keep every pod's tables
+	// moving without the control plane drowning the data plane.
+	cfg.Faults = FaultsConfig{
+		Model: FaultModel{
+			Layers:  []FaultLayerModel{{Layer: LayerAgg, MTBF: 60 * Second, MTTR: 100 * Millisecond}},
+			Horizon: cfg.MaxSimTime,
+		},
+		ReconvergeDelay: 10 * Millisecond,
+	}
+	cfg.Routing.Mode = RoutingGlobal
+	return cfg
+}
+
 // StaggeredChurnBenchConfig is the tracked staggered-convergence
 // scenario: ChurnBenchConfig's churn under global routing with
 // per-switch FIB flips spread 2ms per hop from each failure, so the

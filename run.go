@@ -8,6 +8,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netem"
 	"repro/internal/routing"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/topology"
@@ -109,6 +110,10 @@ type RunInstance struct {
 	shape Shape
 	eng   *sim.Engine
 	net   *topology.Network
+	// fab is the sharded fabric bound over net: per-shard engines and the
+	// lookahead coordinator for Config.Shards > 1, a direct pass-through
+	// to eng otherwise. Its partition wiring survives Reset.
+	fab *shard.Fabric
 	// rec is the structured event recorder armed for the next run (nil
 	// when the config's Trace section is off). It is re-armed — reused
 	// when the trace options match, rebuilt otherwise — by Reset, so a
@@ -128,7 +133,11 @@ func NewRunInstance(cfg Config) (*RunInstance, error) {
 	if err != nil {
 		return nil, err
 	}
-	ri := &RunInstance{shape: cfg.shape(), eng: eng, net: net}
+	fab, err := shard.Build(eng, net, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	ri := &RunInstance{shape: cfg.shape(), eng: eng, net: net, fab: fab}
 	ri.armRecorder(&cfg)
 	return ri, nil
 }
@@ -176,6 +185,7 @@ func (ri *RunInstance) Reset(cfg Config) error {
 	}
 	ri.eng.Reset()
 	ri.net.Reset(cfg.Seed)
+	ri.fab.Reset()
 	ri.armRecorder(&cfg)
 	return nil
 }
@@ -273,7 +283,7 @@ func runPooled(ctx context.Context, cfg Config, pool *sweep.InstancePool[Shape, 
 // runWith is the body shared by every entry point. cfg has defaults
 // applied and its workload validated; inst is fresh or Reset for cfg.
 func runWith(ctx context.Context, cfg Config, inst *RunInstance) (*Results, error) {
-	eng, net := inst.eng, inst.net
+	eng, net, fab := inst.eng, inst.net, inst.fab
 	if ctx.Done() != nil {
 		eng.SetInterrupt(ctxPollEvents, func() bool { return ctx.Err() != nil })
 	}
@@ -281,14 +291,16 @@ func runWith(ctx context.Context, cfg Config, inst *RunInstance) (*Results, erro
 
 	// Arm the data plane's trace points. rec is nil on untraced runs —
 	// the stores below then just re-assert the nil the resets left
-	// behind, and every trace point stays a not-taken branch.
+	// behind, and every trace point stays a not-taken branch. On a
+	// partitioned fabric each shard records into its own recorder
+	// (merged back into rec after the run); flows record into their
+	// source shard's.
 	rec := inst.rec
-	for _, l := range net.Links {
-		l.SetRecorder(rec)
+	var recOpts trace.Options
+	if rec != nil {
+		recOpts = cfg.recorderOptions()
 	}
-	for _, sw := range net.Switches {
-		sw.SetRecorder(rec)
-	}
+	fab.InstallTracing(rec, recOpts)
 
 	// Network dynamics. The fault plan draws from its own RNG stream —
 	// not rootRNG — so a faulted run and its healthy twin share an
@@ -370,19 +382,20 @@ func runWith(ctx context.Context, cfg Config, inst *RunInstance) (*Results, erro
 			Size:  -1,
 			Start: 0,
 		}}
+		flowRec := fab.FlowRecorder(rec, src)
 		conn, err := Dial(eng, net, cfg, DialConfig{
 			FlowID:   nextFlowID,
 			Src:      src,
 			Dst:      assign.Partner[src],
 			Size:     -1,
 			RNG:      rootRNG.Split(),
-			Recorder: rec,
+			Recorder: flowRec,
 		})
 		if err != nil {
 			return nil, err
 		}
-		if rec != nil {
-			rec.Record(eng.Now(), trace.KindFlowStart, nextFlowID, -1,
+		if flowRec != nil {
+			flowRec.Record(eng.Now(), trace.KindFlowStart, nextFlowID, -1,
 				int32(src), int32(assign.Partner[src]), -1, 0)
 		}
 		lf.conn = conn
@@ -419,15 +432,16 @@ func runWith(ctx context.Context, cfg Config, inst *RunInstance) (*Results, erro
 			Size:  size,
 			Start: eng.Now(),
 		}}
+		flowRec := fab.FlowRecorder(rec, src)
 		conn, err := Dial(eng, net, cfg, DialConfig{
 			FlowID: id, Src: src, Dst: dst, Size: size, RNG: rootRNG.Split(),
-			Recorder: rec,
+			Recorder: flowRec,
 		})
 		if err != nil {
 			panic(err) // config was validated; this cannot happen
 		}
-		if rec != nil {
-			rec.Record(eng.Now(), trace.KindFlowStart, id, -1,
+		if flowRec != nil {
+			flowRec.Record(eng.Now(), trace.KindFlowStart, id, -1,
 				int32(src), int32(dst), size, 0)
 		}
 		sf.conn = conn
@@ -435,29 +449,37 @@ func runWith(ctx context.Context, cfg Config, inst *RunInstance) (*Results, erro
 		if !streaming {
 			spawnOrder = append(spawnOrder, id)
 		}
+		// Completion callbacks fire on the owning endpoint's engine (the
+		// receiver's on the destination shard, the sender's on the source
+		// shard); the fabric defers them to the coordinator, which replays
+		// them in (time, shard) order — immediately in sequential mode.
 		conn.Receiver().OnComplete = func() {
-			sf.rec.Completed = true
-			sf.rec.End = eng.Now()
-			if rec != nil {
-				rec.Record(eng.Now(), trace.KindFlowEnd, id, -1,
-					int32(src), int32(dst), conn.Receiver().Delivered(), 0)
-			}
-			completed++
-			if completed == cfg.ShortFlows && spawner.Spawned() == cfg.ShortFlows {
-				eng.Stop()
-			}
+			fab.Defer(fab.HostShard(dst), func(at sim.Time) {
+				sf.rec.Completed = true
+				sf.rec.End = at
+				if flowRec != nil {
+					flowRec.Record(at, trace.KindFlowEnd, id, -1,
+						int32(src), int32(dst), conn.Receiver().Delivered(), 0)
+				}
+				completed++
+				if completed == cfg.ShortFlows && spawner.Spawned() == cfg.ShortFlows {
+					fab.Stop()
+				}
+			})
 		}
 		conn.SetOnAllAcked(func() {
-			// Sender finished too: snapshot stats and free endpoints.
-			sf.fill()
-			sf.conn.Close()
-			sf.conn = nil
-			if stream != nil {
-				stream.Observe(sf.rec)
-			}
-			if streaming {
-				delete(shorts, id)
-			}
+			fab.Defer(fab.HostShard(src), func(sim.Time) {
+				// Sender finished too: snapshot stats and free endpoints.
+				sf.fill()
+				sf.conn.Close()
+				sf.conn = nil
+				if stream != nil {
+					stream.Observe(sf.rec)
+				}
+				if streaming {
+					delete(shorts, id)
+				}
+			})
 		})
 		conn.Start()
 	}
@@ -475,12 +497,27 @@ func runWith(ctx context.Context, cfg Config, inst *RunInstance) (*Results, erro
 		eng.Schedule(iv, tick)
 	}
 
-	eng.RunUntil(cfg.MaxSimTime)
+	// Execute. The fabric runs the control engine directly in sequential
+	// mode; with Shards > 1 it interleaves conservative-lookahead windows
+	// with control barriers. A Stop issued by the final completion takes
+	// effect at the barrier replaying it, with the completion's own
+	// firing time as the run's end time (see shard.Fabric.Run for the
+	// bounded window overrun this implies).
+	var interrupt func() bool
+	if ctx.Done() != nil {
+		interrupt = func() bool { return ctx.Err() != nil }
+	}
+	_, elapsed := fab.Run(shard.RunOptions{
+		Until:     cfg.MaxSimTime,
+		Interrupt: interrupt,
+	})
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	res.Elapsed = eng.Now()
-	res.Events = eng.Processed()
+	fab.MergeTraces(rec)
+	fab.FoldStats()
+	res.Elapsed = elapsed
+	res.Events = fab.Events()
 	res.Spawned = spawner.Spawned()
 
 	if streaming {
@@ -577,7 +614,7 @@ func takeSnapshot(eng *sim.Engine, net *topology.Network, spawner *workload.Pois
 		Short:   stream.Summary(),
 	}
 	for _, l := range net.Links {
-		snap.Blackholed += l.Stats.Blackholed
+		snap.Blackholed += l.TotalBlackholed()
 	}
 	for _, sw := range net.Switches {
 		snap.NoRouteDrops += sw.NoRoute

@@ -94,18 +94,29 @@ func RunSweep(configs []Config, opts SweepOptions) ([]*Results, error) {
 		}
 		configs = derived
 	}
+	// Sharded configs occupy Shards OS threads each; shrink the worker
+	// pool so workers × shards stays within the Workers budget
+	// (GOMAXPROCS by default) instead of oversubscribing the machine.
+	slots := 1
+	for _, cfg := range configs {
+		if cfg.Shards > slots {
+			slots = cfg.Shards
+		}
+	}
 	if opts.Pool {
 		pool := sweep.NewInstancePool[Shape, *RunInstance]()
 		return sweep.Run(ctx, len(configs), sweep.Options{
-			Workers: opts.Workers,
-			OnDone:  opts.OnResult,
+			Workers:      opts.Workers,
+			SlotsPerTask: slots,
+			OnDone:       opts.OnResult,
 		}, func(ctx context.Context, i int) (*Results, error) {
 			return runPooled(ctx, configs[i], pool)
 		})
 	}
 	return sweep.Run(ctx, len(configs), sweep.Options{
-		Workers: opts.Workers,
-		OnDone:  opts.OnResult,
+		Workers:      opts.Workers,
+		SlotsPerTask: slots,
+		OnDone:       opts.OnResult,
 	}, func(ctx context.Context, i int) (*Results, error) {
 		return RunContext(ctx, configs[i])
 	})
