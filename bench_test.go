@@ -371,3 +371,29 @@ func BenchmarkXSACK(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkXRedialChurn exercises transport recovery on the tracked
+// outage scenario (RedialChurnBenchConfig, shared with cmd/bench's
+// recovery rows): subflows pinned through the unreachable cores re-dial
+// onto live paths instead of waiting out the repair in RTO backoff. The
+// off variant is the same scenario with the machinery disarmed — its
+// numbers must not move as the recovery code evolves.
+func BenchmarkXRedialChurn(b *testing.B) {
+	for _, recovery := range []bool{false, true} {
+		name := "off"
+		if recovery {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Run(RedialChurnBenchConfig(recovery, false))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Redials), "redials")
+				b.ReportMetric(float64(res.RedialRecovered), "redial-recovered")
+				b.ReportMetric(res.LongThroughputMbps, "long-tput-mbps")
+			}
+		})
+	}
+}

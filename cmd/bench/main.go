@@ -82,6 +82,7 @@ func main() {
 	engineThroughput(*quick, add)
 	churnRecompute(*quick, add)
 	staggeredChurn(*quick, add)
+	redialChurn(*quick, add)
 	sweepScale(*quick, add)
 	shardThroughput(*quick, add)
 	shardScale(*quick, add)
@@ -220,6 +221,44 @@ func staggeredChurn(quick bool, add addFunc) {
 		"dst_recomputed": float64(last.Routing.DstRecomputed),
 		"dst_skipped":    float64(last.Routing.DstSkipped),
 	})
+}
+
+// redialChurn measures transport recovery (subflow re-dialing) on a
+// mid-run outage that strands pinned subflows
+// (mmptcp.RedialChurnBenchConfig), against the identical scenario with
+// the machinery disarmed. The off row is the no-regression baseline CI
+// guards against the tracked BENCH.json: recovery-off throughput must
+// be unchanged by the recovery code's presence, and the off row must
+// never re-dial.
+func redialChurn(quick bool, add addFunc) {
+	variants := []struct {
+		name     string
+		recovery bool
+	}{
+		{"recovery/redial-churn-off", false},
+		{"recovery/redial-churn", true},
+	}
+	for _, v := range variants {
+		var last *mmptcp.Results
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := mmptcp.Run(mmptcp.RedialChurnBenchConfig(v.recovery, quick))
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+		})
+		nsPerOp := float64(br.T.Nanoseconds()) / float64(br.N)
+		add(v.name, br, map[string]float64{
+			"events":           float64(last.Events),
+			"events_per_sec":   float64(last.Events) / (nsPerOp / 1e9),
+			"redials":          float64(last.Redials),
+			"redial_recovered": float64(last.RedialRecovered),
+			"long_tput_mbps":   last.LongThroughputMbps,
+		})
+	}
 }
 
 // sweepScale tracks the memory discipline of replicate sweeps

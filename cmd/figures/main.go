@@ -576,9 +576,10 @@ func repair() {
 	modes := []mmptcp.RoutingMode{mmptcp.RoutingLocal, mmptcp.RoutingGlobal}
 
 	type point struct {
-		cables int
-		mode   mmptcp.RoutingMode
-		proto  mmptcp.Protocol
+		cables   int
+		mode     mmptcp.RoutingMode
+		proto    mmptcp.Protocol
+		recovery bool
 	}
 	// On the K=4 fabrics cutting the first 4 agg-core cables would sever
 	// every pod-0 uplink — a physical partition no routing model can
@@ -592,38 +593,62 @@ func repair() {
 				continue // healthy baseline: the mode is irrelevant, run once
 			}
 			for _, proto := range protos {
-				cfg := baseConfig(proto)
-				// Stranded single-path flows surface as deadline misses
-				// rather than dominating the scan's wall time.
-				if cfg.MaxSimTime == 0 || cfg.MaxSimTime > 60*sim.Second {
-					cfg.MaxSimTime = 60 * sim.Second
+				// The recovery axis: multipath transports additionally run
+				// with subflow re-dialing armed, so the table shows goodput
+				// recovering when a replacement subflow re-hashes onto a
+				// live path rather than at RTO-backoff expiry. Single-path
+				// TCP has nothing to re-dial; the healthy baseline has
+				// nothing to recover from.
+				recoveries := []bool{false}
+				if cables > 0 && proto != mmptcp.ProtoTCP {
+					recoveries = append(recoveries, true)
 				}
-				if cables > 0 {
-					cfg.Faults = mmptcp.FaultsConfig{
-						Events:          mmptcp.FailCables(mmptcp.LayerAgg, cables, failAt, repairAt),
-						ReconvergeDelay: reconverge,
+				for _, recovery := range recoveries {
+					cfg := baseConfig(proto)
+					// Stranded single-path flows surface as deadline misses
+					// rather than dominating the scan's wall time.
+					if cfg.MaxSimTime == 0 || cfg.MaxSimTime > 60*sim.Second {
+						cfg.MaxSimTime = 60 * sim.Second
 					}
-					cfg.Routing.Mode = mode
+					if cables > 0 {
+						cfg.Faults = mmptcp.FaultsConfig{
+							Events:          mmptcp.FailCables(mmptcp.LayerAgg, cables, failAt, repairAt),
+							ReconvergeDelay: reconverge,
+						}
+						cfg.Routing.Mode = mode
+					}
+					if recovery {
+						cfg.Transport.DeadRTOs = 3
+						cfg.Transport.RedialBudget = 8
+						if mode == mmptcp.RoutingGlobal {
+							cfg.Transport.DeferPhaseSwitch = true
+						}
+					}
+					points = append(points, point{cables, mode, proto, recovery})
+					configs = append(configs, cfg)
 				}
-				points = append(points, point{cables, mode, proto})
-				configs = append(configs, cfg)
 			}
 		}
 	}
 	results := sweep(configs)
 	fmt.Println("== Roadmap: local vs global repair (agg-core cables cut at 200ms, repaired at 2.5s, 10ms reconvergence) ==")
-	fmt.Println("cables  mode    proto    mean_ms  p99_ms   max_ms   miss_pct  long_tput_mbps  noroute  blackholed  recomputes")
+	fmt.Println("cables  mode    proto    recov  mean_ms  p99_ms   max_ms   miss_pct  long_tput_mbps  noroute  blackholed  recomputes  redials  recovered")
 	for i, res := range results {
 		p := points[i]
 		mode := string(p.mode)
 		if p.cables == 0 {
 			mode = "-"
 		}
+		recov := "off"
+		if p.recovery {
+			recov = "on"
+		}
 		s := res.ShortSummary
-		fmt.Printf("%6d  %-6s  %-7s  %7.1f  %7.1f  %7.1f  %8.1f  %14.2f  %7d  %10d  %10d\n",
-			p.cables, mode, p.proto, s.MeanMs, s.P99Ms, s.MaxMs,
+		fmt.Printf("%6d  %-6s  %-7s  %-5s  %7.1f  %7.1f  %7.1f  %8.1f  %14.2f  %7d  %10d  %10d  %7d  %9d\n",
+			p.cables, mode, p.proto, recov, s.MeanMs, s.P99Ms, s.MaxMs,
 			res.DeadlineMissRate*100, res.LongThroughputMbps,
-			res.NoRouteDrops, res.Blackholed, res.Routing.Recomputes)
+			res.NoRouteDrops, res.Blackholed, res.Routing.Recomputes,
+			res.Redials, res.RedialRecovered)
 	}
 	fmt.Println()
 }
@@ -653,43 +678,66 @@ func transient() {
 	perHops := []sim.Time{0, 1 * sim.Millisecond, 5 * sim.Millisecond, 20 * sim.Millisecond}
 
 	type point struct {
-		perHop sim.Time
-		proto  mmptcp.Protocol
+		perHop   sim.Time
+		proto    mmptcp.Protocol
+		recovery bool
 	}
 	var points []point
 	var configs []mmptcp.Config
 	for _, perHop := range perHops {
 		for _, proto := range protos {
-			cfg := baseConfig(proto)
-			// Stranded single-path flows surface as deadline misses
-			// rather than dominating the scan's wall time.
-			if cfg.MaxSimTime == 0 || cfg.MaxSimTime > 60*sim.Second {
-				cfg.MaxSimTime = 60 * sim.Second
+			// Recovery axis: multipath transports additionally run with
+			// re-dialing armed and — for MMPTCP — the phase switch
+			// deferring while the staggered convergence window is open,
+			// so the table contrasts riding out the transient against
+			// actively escaping it.
+			recoveries := []bool{false}
+			if proto != mmptcp.ProtoTCP {
+				recoveries = append(recoveries, true)
 			}
-			cfg.Faults = mmptcp.FaultsConfig{
-				Events:          mmptcp.FailCables(mmptcp.LayerAgg, cables, failAt, repairAt),
-				ReconvergeDelay: reconv,
+			for _, recovery := range recoveries {
+				cfg := baseConfig(proto)
+				// Stranded single-path flows surface as deadline misses
+				// rather than dominating the scan's wall time.
+				if cfg.MaxSimTime == 0 || cfg.MaxSimTime > 60*sim.Second {
+					cfg.MaxSimTime = 60 * sim.Second
+				}
+				cfg.Faults = mmptcp.FaultsConfig{
+					Events:          mmptcp.FailCables(mmptcp.LayerAgg, cables, failAt, repairAt),
+					ReconvergeDelay: reconv,
+				}
+				cfg.Routing = mmptcp.RoutingConfig{
+					Mode:        mmptcp.RoutingGlobal,
+					Convergence: mmptcp.ConvergeStaggered,
+					PerHopDelay: perHop,
+				}
+				if recovery {
+					cfg.Transport.DeadRTOs = 3
+					cfg.Transport.RedialBudget = 8
+					if proto == mmptcp.ProtoMMPTCP {
+						cfg.Transport.DeferPhaseSwitch = true
+					}
+				}
+				points = append(points, point{perHop, proto, recovery})
+				configs = append(configs, cfg)
 			}
-			cfg.Routing = mmptcp.RoutingConfig{
-				Mode:        mmptcp.RoutingGlobal,
-				Convergence: mmptcp.ConvergeStaggered,
-				PerHopDelay: perHop,
-			}
-			points = append(points, point{perHop, proto})
-			configs = append(configs, cfg)
 		}
 	}
 	results := sweep(configs)
 	fmt.Println("== Roadmap: staged convergence transients (2 agg-core cables cut at 200ms, repaired at 900ms, staggered flips) ==")
-	fmt.Println("perhop_ms  proto    mean_ms  p99_ms   miss_pct  loop_drops  tn_noroute  stale_lookups  window_ms  flips")
+	fmt.Println("perhop_ms  proto    recov  mean_ms  p99_ms   miss_pct  loop_drops  tn_noroute  stale_lookups  window_ms  flips  redials  defers")
 	for i, res := range results {
 		p := points[i]
+		recov := "off"
+		if p.recovery {
+			recov = "on"
+		}
 		s := res.ShortSummary
-		fmt.Printf("%9.1f  %-7s  %7.1f  %7.1f  %8.1f  %10d  %10d  %13d  %9.1f  %5d\n",
-			p.perHop.Milliseconds(), p.proto, s.MeanMs, s.P99Ms,
+		fmt.Printf("%9.1f  %-7s  %-5s  %7.1f  %7.1f  %8.1f  %10d  %10d  %13d  %9.1f  %5d  %7d  %6d\n",
+			p.perHop.Milliseconds(), p.proto, recov, s.MeanMs, s.P99Ms,
 			res.DeadlineMissRate*100, res.LoopDrops, res.Routing.TransientNoRoute,
 			res.Routing.StaleLookups, res.Routing.TransientTime.Milliseconds(),
-			res.Routing.Flips)
+			res.Routing.Flips, res.Redials, res.PhaseDeferrals)
 	}
 	fmt.Println()
 }

@@ -85,6 +85,11 @@ func main() {
 		perhopMs = flag.Float64("perhop-ms", 0, "staggered convergence: extra flip delay per hop from the failure, milliseconds")
 		holdMs   = flag.Float64("holddown-ms", 0, "flap damping window, milliseconds (0 = no damping)")
 		flapThr  = flag.Int("flap-threshold", 0, "transitions within one hold-down window before a link is damped (0 = default 3)")
+		deadRTOs = flag.Int("dead-rtos", 0, "declare a subflow dead after this many consecutive RTOs and re-dial it on a fresh source port (0 = recovery off)")
+		redialBk = flag.Float64("redial-backoff-ms", 0, "base backoff between repeated re-dials of one subflow slot, milliseconds (0 = default 10 when -dead-rtos is set)")
+		redialBg = flag.Int("redial-budget", 0, "re-dial attempts allowed per connection (0 = default 4 when -dead-rtos is set)")
+		deferPS  = flag.Bool("defer-phase-switch", false, "hold MMPTCP's phase switch while routing convergence is in progress (requires -routing global)")
+		maxDefMs = flag.Float64("max-defer-ms", 0, "bound on the phase-switch deferral, milliseconds (0 = default 50 with -defer-phase-switch)")
 		lossRate = flag.Float64("degrade-loss", 0, "degrade the -fail-cables cables with this random-loss probability instead of hard failure")
 		capFact  = flag.Float64("degrade-capacity", 0, "scale the -fail-cables cables' capacity by this factor in (0,1] instead of hard failure")
 		seed     = flag.Uint64("seed", 1, "random seed (with -seeds: base for derived replicate seeds)")
@@ -158,6 +163,8 @@ func main() {
 		{"-holddown-ms", *holdMs},
 		{"-max-sim-seconds", *maxSimS},
 		{"-snapshot-ms", *snapMs},
+		{"-redial-backoff-ms", *redialBk},
+		{"-max-defer-ms", *maxDefMs},
 	} {
 		if check.value < 0 {
 			fmt.Fprintf(os.Stderr, "%s must not be negative (got %v)\n", check.name, check.value)
@@ -166,6 +173,26 @@ func main() {
 	}
 	if *flapThr < 0 {
 		fmt.Fprintf(os.Stderr, "-flap-threshold must not be negative (got %d)\n", *flapThr)
+		os.Exit(2)
+	}
+	if *deadRTOs < 0 {
+		fmt.Fprintf(os.Stderr, "-dead-rtos must not be negative (got %d); 0 disables recovery\n", *deadRTOs)
+		os.Exit(2)
+	}
+	if *redialBg < 0 {
+		fmt.Fprintf(os.Stderr, "-redial-budget must not be negative (got %d)\n", *redialBg)
+		os.Exit(2)
+	}
+	if *deadRTOs == 0 && (*redialBk > 0 || *redialBg > 0) {
+		fmt.Fprintln(os.Stderr, "-redial-backoff-ms/-redial-budget need -dead-rtos to arm re-dialing")
+		os.Exit(2)
+	}
+	if !*deferPS && *maxDefMs > 0 {
+		fmt.Fprintln(os.Stderr, "-max-defer-ms needs -defer-phase-switch")
+		os.Exit(2)
+	}
+	if *deferPS && *routing != "global" {
+		fmt.Fprintln(os.Stderr, "-defer-phase-switch needs -routing global (local repair exposes no convergence signal)")
 		os.Exit(2)
 	}
 	if *histPrec < 0 {
@@ -208,6 +235,13 @@ func main() {
 		PerHopDelay:   sim.FromSeconds(*perhopMs / 1000),
 		HoldDown:      sim.FromSeconds(*holdMs / 1000),
 		FlapThreshold: *flapThr,
+	}
+	cfg.Transport = mmptcp.TransportConfig{
+		DeadRTOs:         *deadRTOs,
+		RedialBackoff:    sim.FromSeconds(*redialBk / 1000),
+		RedialBudget:     *redialBg,
+		DeferPhaseSwitch: *deferPS,
+		MaxDefer:         sim.FromSeconds(*maxDefMs / 1000),
 	}
 	if *failSw != "" {
 		var ords []int
@@ -432,6 +466,13 @@ func report(res *mmptcp.Results, wall time.Duration) {
 	fmt.Printf("\nlong flows (%d):\n  mean goodput %.2f Mb/s\n", len(res.LongFlows), res.LongThroughputMbps)
 	if cfg.Protocol == mmptcp.ProtoMMPTCP {
 		fmt.Printf("  phase switches: %d\n", res.PhaseSwitches)
+		if cfg.Transport.DeferPhaseSwitch {
+			fmt.Printf("  switches deferred for convergence: %d\n", res.PhaseDeferrals)
+		}
+	}
+	if cfg.Transport.DeadRTOs > 0 {
+		fmt.Printf("\ntransport recovery: %d subflow re-dials, %d recovered a live path\n",
+			res.Redials, res.RedialRecovered)
 	}
 
 	fmt.Println("\nper-layer (link direction classes):")

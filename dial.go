@@ -23,6 +23,10 @@ type Conn interface {
 	Stats() tcp.SenderStats
 	// SetOnAllAcked registers the sender-side completion callback.
 	SetOnAllAcked(func())
+	// RedialStats reports subflow re-dial attempts and how many
+	// replacement subflows recovered (acknowledged data). Always zero
+	// for single-path transports and with recovery disabled.
+	RedialStats() (redials, recovered int)
 	// Close releases endpoints and timers.
 	Close()
 }
@@ -38,6 +42,10 @@ type DialConfig struct {
 	// events (segment sends, ACKs, window changes, subflow lifecycle,
 	// phase switches). Nil — the default — costs nothing.
 	Recorder *trace.Recorder
+	// Observer, when non-nil with Config.Transport.DeferPhaseSwitch,
+	// supplies the routing convergence signal MMPTCP's phase switch
+	// consults (the run harness passes the installed control plane).
+	Observer core.ConvergenceObserver
 }
 
 // Dial creates a connection of the configured protocol between two hosts
@@ -69,7 +77,14 @@ func Dial(eng sim.EventScheduler, net *topology.Network, cfg Config, d DialConfi
 		snd := tcp.NewSender(src.Engine(), cfg.TCP, opt)
 		return &tcpConn{snd: snd, rcv: rcv}, nil
 	case ProtoMPTCP:
-		conn := mptcp.Dial(eng, mptcp.Config{TCP: cfg.TCP, Subflows: cfg.Subflows, SACK: cfg.SACK}, mptcp.Options{
+		conn := mptcp.Dial(eng, mptcp.Config{
+			TCP:           cfg.TCP,
+			Subflows:      cfg.Subflows,
+			SACK:          cfg.SACK,
+			DeadRTOs:      cfg.Transport.DeadRTOs,
+			RedialBackoff: cfg.Transport.RedialBackoff,
+			RedialBudget:  cfg.Transport.RedialBudget,
+		}, mptcp.Options{
 			SrcHost:  src,
 			DstHost:  dst,
 			FlowID:   d.FlowID,
@@ -80,12 +95,17 @@ func Dial(eng sim.EventScheduler, net *topology.Network, cfg Config, d DialConfi
 		return &mptcpConn{conn}, nil
 	case ProtoMMPTCP:
 		conn := core.Dial(eng, core.Config{
-			TCP:         cfg.TCP,
-			Subflows:    cfg.Subflows,
-			Strategy:    cfg.Strategy,
-			SwitchBytes: cfg.SwitchBytes,
-			Threshold:   cfg.PSThreshold,
-			SACK:        cfg.SACK,
+			TCP:              cfg.TCP,
+			Subflows:         cfg.Subflows,
+			Strategy:         cfg.Strategy,
+			SwitchBytes:      cfg.SwitchBytes,
+			Threshold:        cfg.PSThreshold,
+			SACK:             cfg.SACK,
+			DeadRTOs:         cfg.Transport.DeadRTOs,
+			RedialBackoff:    cfg.Transport.RedialBackoff,
+			RedialBudget:     cfg.Transport.RedialBudget,
+			DeferPhaseSwitch: cfg.Transport.DeferPhaseSwitch,
+			MaxDefer:         cfg.Transport.MaxDefer,
 		}, core.Options{
 			SrcHost:   src,
 			DstHost:   dst,
@@ -94,6 +114,7 @@ func Dial(eng sim.EventScheduler, net *topology.Network, cfg Config, d DialConfi
 			PathCount: net.PathCount(netem.NodeID(d.Src), netem.NodeID(d.Dst)),
 			RNG:       d.RNG,
 			Recorder:  d.Recorder,
+			Observer:  d.Observer,
 		})
 		return &mmptcpConn{conn}, nil
 	}
@@ -109,6 +130,7 @@ func (c *tcpConn) Start()                  { c.snd.Start() }
 func (c *tcpConn) Receiver() *tcp.Receiver { return c.rcv }
 func (c *tcpConn) Stats() tcp.SenderStats  { return c.snd.Stats }
 func (c *tcpConn) SetOnAllAcked(fn func()) { c.snd.OnAllAcked = fn }
+func (c *tcpConn) RedialStats() (int, int) { return 0, 0 }
 func (c *tcpConn) Close() {
 	c.snd.Close()
 	c.rcv.Close()
@@ -120,6 +142,7 @@ func (c *mptcpConn) Start()                  { c.conn.Start() }
 func (c *mptcpConn) Receiver() *tcp.Receiver { return c.conn.Receiver() }
 func (c *mptcpConn) Stats() tcp.SenderStats  { return c.conn.Stats() }
 func (c *mptcpConn) SetOnAllAcked(fn func()) { c.conn.OnAllAcked = fn }
+func (c *mptcpConn) RedialStats() (int, int) { return c.conn.RedialStats() }
 func (c *mptcpConn) Close()                  { c.conn.Close() }
 
 type mmptcpConn struct{ conn *core.Conn }
@@ -128,6 +151,7 @@ func (c *mmptcpConn) Start()                  { c.conn.Start() }
 func (c *mmptcpConn) Receiver() *tcp.Receiver { return c.conn.Receiver() }
 func (c *mmptcpConn) Stats() tcp.SenderStats  { return c.conn.Stats() }
 func (c *mmptcpConn) SetOnAllAcked(fn func()) { c.conn.OnAllAcked = fn }
+func (c *mmptcpConn) RedialStats() (int, int) { return c.conn.RedialStats() }
 func (c *mmptcpConn) Close()                  { c.conn.Close() }
 
 // MMPTCPConn exposes the phase-level API of an MMPTCP connection dialed

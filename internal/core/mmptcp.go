@@ -113,6 +113,29 @@ type Config struct {
 
 	// SACK enables selective-acknowledgement recovery in both phases.
 	SACK bool
+
+	// DeadRTOs / RedialBackoff / RedialBudget arm subflow re-dialing in
+	// the MPTCP phase (passed through to mptcp.Config; see its docs).
+	// The PS phase never re-dials: its per-packet scatter ports already
+	// re-hash every transmission across the ECMP paths.
+	DeadRTOs      int
+	RedialBackoff sim.Time
+	RedialBudget  int
+
+	// DeferPhaseSwitch holds the packet-scatter→subflow switch open
+	// while the routing control plane reports an unconverged state
+	// (Options.Observer), so fresh subflows are not pinned onto tables
+	// that are mid-flip. The switch is forced after MaxDefer regardless
+	// (default 50ms), bounding how long a flow can stay in PS.
+	DeferPhaseSwitch bool
+	MaxDefer         sim.Time
+}
+
+// ConvergenceObserver is the routing-state signal the phase switch
+// consults; *routing.ControlPlane satisfies it. Declared locally so the
+// transport does not import the control plane.
+type ConvergenceObserver interface {
+	ConvergenceOpen() bool
 }
 
 // DefaultConfig returns the paper's MMPTCP configuration.
@@ -140,6 +163,9 @@ func (c *Config) applyDefaults() {
 			return paths
 		}
 	}
+	if c.DeferPhaseSwitch && c.MaxDefer == 0 {
+		c.MaxDefer = 50 * sim.Millisecond
+	}
 }
 
 // Options identifies a connection's endpoints.
@@ -156,6 +182,9 @@ type Options struct {
 	// Recorder, when non-nil, traces both phases (PS sender, MPTCP
 	// subflows) and the phase-switch instant.
 	Recorder *trace.Recorder
+	// Observer, when non-nil with Config.DeferPhaseSwitch, supplies the
+	// open-convergence signal the phase switch waits out.
+	Observer ConvergenceObserver
 }
 
 // Conn is an MMPTCP connection: a packet-scatter sender, a shared
@@ -172,6 +201,14 @@ type Conn struct {
 
 	switched   bool
 	switchedAt sim.Time
+
+	// Phase-switch deferral state (DeferPhaseSwitch): deferring marks
+	// an open deferral episode anchored at deferStart, deferrals counts
+	// postponements, pollArmed dedups the re-check events.
+	deferring  bool
+	deferStart sim.Time
+	deferrals  int
+	pollArmed  bool
 
 	psDone bool
 	mpDone bool
@@ -278,6 +315,19 @@ func (c *Conn) Switched() bool { return c.switched }
 // SwitchedAt returns the phase-switch time (0 if it never happened).
 func (c *Conn) SwitchedAt() sim.Time { return c.switchedAt }
 
+// Deferrals returns how many times the phase switch was postponed
+// waiting for routing convergence.
+func (c *Conn) Deferrals() int { return c.deferrals }
+
+// RedialStats reports MPTCP-phase re-dial attempts and recoveries
+// (zero before the phase switch).
+func (c *Conn) RedialStats() (redials, recovered int) {
+	if c.mp == nil {
+		return 0, 0
+	}
+	return c.mp.RedialStats()
+}
+
 // Stats aggregates sender statistics over both phases.
 func (c *Conn) Stats() tcp.SenderStats {
 	agg := c.ps.Stats
@@ -305,6 +355,47 @@ func (c *Conn) maybeSwitch() {
 	if c.opt.Size >= 0 && handover >= c.opt.Size {
 		return // the whole flow fit in the PS phase
 	}
+	if c.cfg.DeferPhaseSwitch && c.opt.Observer != nil && c.opt.Observer.ConvergenceOpen() {
+		now := c.eng.Now()
+		if !c.deferring {
+			c.deferring = true
+			c.deferStart = now
+		}
+		if now-c.deferStart < c.cfg.MaxDefer {
+			// Convergence window still open and the deferral bound not
+			// yet reached: postpone, and poll again soon. The re-check
+			// interval never overshoots deferStart+MaxDefer, so the
+			// forced switch lands exactly at the bound under sustained
+			// churn.
+			c.deferrals++
+			if c.opt.Recorder != nil {
+				c.opt.Recorder.Record(now, trace.KindPhaseDefer, c.opt.FlowID, 0,
+					int32(c.opt.SrcHost.ID()), int32(c.opt.DstHost.ID()),
+					int64(c.deferrals), 0)
+			}
+			if !c.pollArmed {
+				c.pollArmed = true
+				interval := c.cfg.MaxDefer / 8
+				if interval < sim.Millisecond {
+					interval = sim.Millisecond
+				}
+				if rem := c.deferStart + c.cfg.MaxDefer - now; interval > rem {
+					interval = rem
+				}
+				c.eng.Schedule(interval, func() {
+					c.pollArmed = false
+					c.maybeSwitch()
+				})
+			}
+			return
+		}
+		// MaxDefer elapsed with churn still in progress: switch anyway.
+		if c.opt.Recorder != nil {
+			c.opt.Recorder.Record(now, trace.KindPhaseDefer, c.opt.FlowID, 0,
+				int32(c.opt.SrcHost.ID()), int32(c.opt.DstHost.ID()),
+				int64(c.deferrals), 1)
+		}
+	}
 	c.switched = true
 	c.switchedAt = c.eng.Now()
 	if c.opt.Recorder != nil {
@@ -313,10 +404,13 @@ func (c *Conn) maybeSwitch() {
 			handover, int64(c.cfg.Subflows))
 	}
 	c.mp = mptcp.Dial(c.eng, mptcp.Config{
-		TCP:       c.cfg.TCP,
-		Subflows:  c.cfg.Subflows,
-		JoinDelay: c.cfg.JoinDelay,
-		SACK:      c.cfg.SACK,
+		TCP:           c.cfg.TCP,
+		Subflows:      c.cfg.Subflows,
+		JoinDelay:     c.cfg.JoinDelay,
+		SACK:          c.cfg.SACK,
+		DeadRTOs:      c.cfg.DeadRTOs,
+		RedialBackoff: c.cfg.RedialBackoff,
+		RedialBudget:  c.cfg.RedialBudget,
 	}, mptcp.Options{
 		SrcHost:     c.opt.SrcHost,
 		DstHost:     c.opt.DstHost,

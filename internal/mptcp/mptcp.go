@@ -39,6 +39,24 @@ type Config struct {
 	// SACK enables selective-acknowledgement recovery on every subflow
 	// (ablation: the paper's era modelled NewReno).
 	SACK bool
+
+	// DeadRTOs, when > 0, arms subflow re-dialing: a subflow that fires
+	// this many consecutive RTOs without a new ACK is declared dead,
+	// closed, and replaced by a fresh sender on a new randomised source
+	// port (re-hashing onto a hopefully-live ECMP path). The dead
+	// subflow's unacknowledged data-level allocation migrates back to
+	// the connection for re-pull. Zero disables recovery entirely: no
+	// extra RNG draws, no extra events, byte-identical runs.
+	DeadRTOs int
+	// RedialBackoff is the base delay between repeated re-dials of the
+	// same subflow slot: the first replacement dials immediately, the
+	// k-th waits min(RedialBackoff << (k-2), 16*RedialBackoff).
+	// Default 10ms when recovery is armed.
+	RedialBackoff sim.Time
+	// RedialBudget caps re-dial attempts per connection (default 4 when
+	// recovery is armed). A connection out of budget leaves its stalled
+	// subflows backing off exactly as with recovery disabled.
+	RedialBudget int
 }
 
 // DefaultConfig returns the paper's MPTCP configuration: 8 subflows, LIA.
@@ -49,6 +67,14 @@ func DefaultConfig() Config {
 func (c *Config) applyDefaults() {
 	if c.Subflows == 0 {
 		c.Subflows = 8
+	}
+	if c.DeadRTOs > 0 {
+		if c.RedialBackoff == 0 {
+			c.RedialBackoff = 10 * sim.Millisecond
+		}
+		if c.RedialBudget == 0 {
+			c.RedialBudget = 4
+		}
 	}
 }
 
@@ -86,15 +112,32 @@ type Options struct {
 type Connection struct {
 	eng sim.EventScheduler // the source host's engine: sender-side scheduling
 	cfg Config
+	opt Options // retained for re-dialing (endpoints, RNG, recorder)
 
 	flowID   uint64
 	subflows []*tcp.Sender
 	rcv      *tcp.Receiver
 	ownRcv   bool
+	cc       tcp.CongestionControl // shared LIA state; replacements re-enter it
+	ifaces   int
 
 	// Data-level allocation pool [next, end); end == -1 is unbounded.
 	next int64
 	end  int64
+
+	// reclaim queues data-level intervals {dataSeq, n} migrated back
+	// from dead subflows; allocate serves it before the contiguous pool.
+	reclaim [][2]int64
+
+	// Re-dial state: nextSub numbers replacement subflows (fresh IDs so
+	// the receiver starts clean per-subflow reorder state), attempts
+	// counts re-dials per slot for the backoff schedule, redials counts
+	// attempts against cfg.RedialBudget, replacements retains every
+	// replacement sender for recovery accounting.
+	nextSub      int8
+	attempts     []int
+	redials      int
+	replacements []*tcp.Sender
 
 	doneSubflows int
 
@@ -122,6 +165,7 @@ func Dial(eng sim.EventScheduler, cfg Config, opt Options) *Connection {
 	c := &Connection{
 		eng:    opt.SrcHost.Engine(),
 		cfg:    cfg,
+		opt:    opt,
 		flowID: opt.FlowID,
 		next:   opt.DataStart,
 		end:    -1,
@@ -138,37 +182,53 @@ func Dial(eng sim.EventScheduler, cfg Config, opt Options) *Connection {
 		c.ownRcv = true
 	}
 
-	var cc tcp.CongestionControl
 	if cfg.Uncoupled {
-		cc = tcp.RenoCC{}
+		c.cc = tcp.RenoCC{}
 	} else {
-		cc = &liaCC{conn: c}
+		c.cc = &liaCC{conn: c}
 	}
 	// On multi-homed hosts, spread subflows round-robin across the
 	// interfaces (the paper's roadmap: more parallel paths at the
 	// access layer).
-	ifaces := len(opt.SrcHost.Uplinks())
-	if ifaces == 0 {
-		ifaces = 1
+	c.ifaces = len(opt.SrcHost.Uplinks())
+	if c.ifaces == 0 {
+		c.ifaces = 1
+	}
+	// Replacement subflows get fresh IDs above the initial range so the
+	// receiver opens clean per-subflow reorder state for each.
+	c.nextSub = opt.SubflowBase + int8(cfg.Subflows)
+	if cfg.DeadRTOs > 0 {
+		c.attempts = make([]int, cfg.Subflows)
 	}
 	for i := 0; i < cfg.Subflows; i++ {
-		sub := tcp.NewSender(opt.SrcHost.Engine(), cfg.TCP, tcp.SenderOptions{
-			Host:       opt.SrcHost,
-			Iface:      i % ifaces,
-			Dst:        opt.DstHost.ID(),
-			FlowID:     opt.FlowID,
-			Subflow:    opt.SubflowBase + int8(i),
-			SrcPort:    uint16(10000 + opt.RNG.Intn(50000)),
-			DstPort:    opt.DstPort,
-			Source:     &subflowSource{conn: c},
-			CC:         cc,
-			EnableSACK: cfg.SACK,
-			Recorder:   opt.Recorder,
-		})
-		sub.OnAllAcked = c.subflowDone
+		sub := c.newSender(i, opt.SubflowBase+int8(i), uint16(10000+opt.RNG.Intn(50000)))
 		c.subflows = append(c.subflows, sub)
 	}
 	return c
+}
+
+// newSender builds the sender for one subflow slot (initial dial and
+// re-dial share it) and wires its completion and death hooks.
+func (c *Connection) newSender(slot int, subflowID int8, srcPort uint16) *tcp.Sender {
+	sub := tcp.NewSender(c.opt.SrcHost.Engine(), c.cfg.TCP, tcp.SenderOptions{
+		Host:       c.opt.SrcHost,
+		Iface:      slot % c.ifaces,
+		Dst:        c.opt.DstHost.ID(),
+		FlowID:     c.opt.FlowID,
+		Subflow:    subflowID,
+		SrcPort:    srcPort,
+		DstPort:    c.opt.DstPort,
+		Source:     &subflowSource{conn: c},
+		CC:         c.cc,
+		EnableSACK: c.cfg.SACK,
+		DeadRTOs:   c.cfg.DeadRTOs,
+		Recorder:   c.opt.Recorder,
+	})
+	sub.OnAllAcked = c.subflowDone
+	if c.cfg.DeadRTOs > 0 {
+		sub.OnPersistentRTO = func() { c.subflowDead(slot) }
+	}
+	return sub
 }
 
 // Start opens all subflows (staggered by JoinDelay if configured).
@@ -205,8 +265,23 @@ func (c *Connection) Stats() tcp.SenderStats {
 	return agg
 }
 
-// allocate grants up to maxBytes from the connection pool.
+// allocate grants up to maxBytes from the connection pool. Reclaimed
+// intervals (migrated back from dead subflows) are served first, in
+// death order, so re-pulled data reaches the receiver before fresh
+// sequence space extends the tail.
 func (c *Connection) allocate(maxBytes int) (int64, int, bool) {
+	if len(c.reclaim) > 0 {
+		iv := &c.reclaim[0]
+		seq, n := iv[0], iv[1]
+		if n > int64(maxBytes) {
+			n = int64(maxBytes)
+			iv[0] += n
+			iv[1] -= n
+		} else {
+			c.reclaim = c.reclaim[1:]
+		}
+		return seq, int(n), c.exhausted()
+	}
 	if c.end >= 0 && c.next >= c.end {
 		return c.next, 0, true
 	}
@@ -216,7 +291,13 @@ func (c *Connection) allocate(maxBytes int) (int64, int, bool) {
 	}
 	seq := c.next
 	c.next += n
-	return seq, int(n), c.end >= 0 && c.next >= c.end
+	return seq, int(n), c.exhausted()
+}
+
+// exhausted reports whether the pool has nothing left to grant: the
+// contiguous range is spent and no reclaimed intervals are queued.
+func (c *Connection) exhausted() bool {
+	return len(c.reclaim) == 0 && c.end >= 0 && c.next >= c.end
 }
 
 func (c *Connection) subflowDone() {
@@ -224,6 +305,69 @@ func (c *Connection) subflowDone() {
 	if c.doneSubflows == len(c.subflows) && c.OnAllAcked != nil {
 		c.OnAllAcked()
 	}
+}
+
+// subflowDead handles a persistent-RTO verdict on slot: close the
+// stalled sender, migrate its unacked data-level allocation back to the
+// connection, and schedule a replacement dial on a fresh source port
+// (immediately for a slot's first death, capped-exponentially backed
+// off for repeat deaths). Out of budget — or out of subflow-ID space —
+// the stalled sender is left alone to back off exactly as with
+// recovery disabled.
+func (c *Connection) subflowDead(slot int) {
+	if c.redials >= c.cfg.RedialBudget || c.nextSub < 0 {
+		return
+	}
+	old := c.subflows[slot]
+	unacked := old.UnackedData()
+	if c.opt.Recorder != nil {
+		c.opt.Recorder.Record(c.eng.Now(), trace.KindSubflowDead, c.flowID,
+			old.Subflow(), int32(c.opt.SrcHost.ID()), int32(c.opt.DstHost.ID()),
+			int64(c.cfg.DeadRTOs), old.Acked())
+	}
+	old.Close()
+	c.reclaim = append(c.reclaim, unacked...)
+	c.redials++
+	k := c.attempts[slot]
+	c.attempts[slot] = k + 1
+	var delay sim.Time
+	if k > 0 {
+		delay = c.cfg.RedialBackoff << uint(k-1)
+		if lim := 16 * c.cfg.RedialBackoff; delay > lim {
+			delay = lim
+		}
+	}
+	attempt := c.redials
+	c.eng.Schedule(delay, func() { c.redial(slot, attempt) })
+}
+
+// redial replaces the (closed) sender in slot with a fresh one: new
+// subflow ID, new randomised source port drawn from the connection's
+// own RNG stream (determinism: the stream is private to this flow and
+// consumed in event order), same shared congestion coupling.
+func (c *Connection) redial(slot, attempt int) {
+	sub := c.newSender(slot, c.nextSub, uint16(10000+c.opt.RNG.Intn(50000)))
+	c.nextSub++ // wraps negative at 127; subflowDead stops redialing then
+	c.subflows[slot] = sub
+	c.replacements = append(c.replacements, sub)
+	if c.opt.Recorder != nil {
+		c.opt.Recorder.Record(c.eng.Now(), trace.KindSubflowRedial, c.flowID,
+			sub.Subflow(), int32(c.opt.SrcHost.ID()), int32(c.opt.DstHost.ID()),
+			int64(sub.SrcPort()), int64(attempt))
+	}
+	sub.Start()
+}
+
+// RedialStats reports re-dial attempts made and how many replacement
+// subflows went on to acknowledge data (recovered the path).
+func (c *Connection) RedialStats() (redials, recovered int) {
+	redials = c.redials
+	for _, s := range c.replacements {
+		if s.Acked() > 0 {
+			recovered++
+		}
+	}
+	return redials, recovered
 }
 
 // Close tears down every subflow and the owned receiver.

@@ -274,6 +274,29 @@ func (f *FIB) Stale() bool { return f.target != nil }
 // still serves the old ones.
 func (f *FIB) Transient() bool { return f.cp.staleFIBs > 0 }
 
+// ConvergenceObserver is the transport-facing view of the control
+// plane's convergence state: whether routing is still settling after a
+// topology change. MMPTCP's phase switch consults it to avoid re-homing
+// a flow's subflows onto tables that are mid-flip (transiently looping
+// or black-holing). Observing never schedules events or mutates state.
+type ConvergenceObserver interface {
+	// ConvergenceOpen reports that a convergence episode is in
+	// progress: a recompute is pending or scheduled, flap damping is
+	// holding transitions back, or staggered per-switch flips have not
+	// all landed.
+	ConvergenceOpen() bool
+}
+
+// ConvergenceOpen implements ConvergenceObserver for the global control
+// plane: true while an invalidation awaits its recompute (dirty), a
+// hold-down window defers transitions (deferredPending), or staged
+// tables await their flips (staleFIBs).
+func (cp *ControlPlane) ConvergenceOpen() bool {
+	return cp.dirty || cp.deferredPending || cp.staleFIBs > 0
+}
+
+var _ ConvergenceObserver = (*ControlPlane)(nil)
+
 // stage records dst's computed equal-cost set into the FIB's target
 // table, lazily forking it from the serving table on the first actual
 // divergence (an entry exists exactly when eq differs from the healthy

@@ -95,6 +95,14 @@ type Sender struct {
 	inRecovery bool
 	recover    int64
 
+	// Persistent-RTO detection (subflow re-dialing): consecRTOs counts
+	// retransmission timeouts since the last new ACK; when it reaches
+	// deadRTOs (> 0) the OnPersistentRTO hook fires so the owner can
+	// declare the path dead. Zero deadRTOs disables the machinery
+	// entirely — no counter comparison changes behaviour.
+	deadRTOs   int
+	consecRTOs int
+
 	srtt   sim.Time
 	rttvar sim.Time
 	hasRTT bool
@@ -119,6 +127,11 @@ type Sender struct {
 	// OnCongestionEvent fires on every fast retransmit or timeout
 	// (MMPTCP's congestion-event switching strategy hooks this).
 	OnCongestionEvent func()
+	// OnPersistentRTO fires when DeadRTOs consecutive timeouts elapse
+	// without an intervening new ACK — the path is presumed dead. The
+	// hook may Close the sender (subflow re-dialing does); onTimeout
+	// detects that and stops touching the torn-down state.
+	OnPersistentRTO func()
 }
 
 // SenderOptions bundles the identity of a sender's flow.
@@ -149,6 +162,11 @@ type SenderOptions struct {
 	// ACK instead of one segment per RTT, repairing multi-loss windows
 	// in roughly one round trip (RFC 2018/6675, simplified).
 	EnableSACK bool
+	// DeadRTOs, when > 0, arms persistent-RTO detection: after this
+	// many consecutive timeouts without a new ACK the OnPersistentRTO
+	// hook fires (once per streak). Zero leaves stalled senders backing
+	// off forever, exactly as before.
+	DeadRTOs int
 	// Recorder, when non-nil, receives structured trace events for this
 	// sender (segment sends, acks, cwnd/RTO moves, recovery episodes,
 	// subflow lifecycle). Tracing observes only: it never schedules
@@ -196,6 +214,7 @@ func NewSender(eng sim.EventScheduler, cfg Config, opt SenderOptions) *Sender {
 		adaptive:    opt.AdaptiveDupThresh,
 		adaptiveMax: adaptiveMax,
 		sackEnabled: opt.EnableSACK,
+		deadRTOs:    opt.DeadRTOs,
 		rec:         opt.Recorder,
 		Cwnd:        float64(cfg.InitialWindow * cfg.MSS),
 		Ssthresh:    1 << 30,
@@ -236,6 +255,13 @@ func (s *Sender) DupThresh() int { return s.dupThresh }
 
 // InRecovery reports whether the sender is in NewReno fast recovery.
 func (s *Sender) InRecovery() bool { return s.inRecovery }
+
+// Subflow returns the sender's subflow identifier.
+func (s *Sender) Subflow() int8 { return s.subflow }
+
+// SrcPort returns the sender's source port (the per-packet scatter
+// port, when enabled, overrides it on the wire).
+func (s *Sender) SrcPort() uint16 { return s.srcPort }
 
 // Granted returns the number of bytes the source has granted so far.
 func (s *Sender) Granted() int64 { return s.limit }
@@ -305,6 +331,7 @@ func (s *Sender) traceWindow() {
 func (s *Sender) onNewAck(ack int64) {
 	acked := ack - s.sndUna
 	s.sndUna = ack
+	s.consecRTOs = 0 // forward progress: the path is alive
 	// After a timeout rolls snd.nxt back, a late cumulative ACK for the
 	// original transmissions can overtake it; snd.nxt never trails the
 	// acknowledged prefix.
@@ -410,6 +437,16 @@ func (s *Sender) onTimeout() {
 	}
 	if s.OnCongestionEvent != nil {
 		s.OnCongestionEvent()
+	}
+	if s.deadRTOs > 0 {
+		s.consecRTOs++
+		if s.consecRTOs >= s.deadRTOs && s.OnPersistentRTO != nil {
+			s.consecRTOs = 0 // re-arm so the streak can fire again
+			s.OnPersistentRTO()
+			if s.done {
+				return // the hook tore the sender down (re-dial)
+			}
+		}
 	}
 	s.trySend()
 	s.traceWindow()
@@ -619,10 +656,43 @@ func (s *Sender) checkDone() {
 	}
 }
 
-// Close tears the sender down: stops its timer and removes its host
-// registration. Late ACKs are then counted as unclaimed by the host.
+// UnackedData returns the data-level intervals this sender was granted
+// but has not yet cumulatively acknowledged, as {dataSeq, n} pairs in
+// subflow-sequence order. A mapping straddling snd.una is clipped to
+// its unacknowledged suffix. The redial path hands these back to the
+// connection for re-pull by a replacement subflow.
+func (s *Sender) UnackedData() [][2]int64 {
+	if len(s.maps) == 0 {
+		return nil
+	}
+	out := make([][2]int64, 0, len(s.maps))
+	for _, m := range s.maps {
+		start, n := m.dataSeq, int64(m.n)
+		if skip := s.sndUna - m.subSeq; skip > 0 {
+			start += skip
+			n -= skip
+		}
+		if n > 0 {
+			out = append(out, [2]int64{start, n})
+		}
+	}
+	return out
+}
+
+// Close tears the sender down mid-flow: stops its timer (cancelling and
+// recycling the pending timeout event), removes its host registration,
+// and releases the per-flow state a stalled sender can pin — the
+// sequence mappings and SACK scoreboard of everything still in flight.
+// Late ACKs are then counted as unclaimed by the host, which recycles
+// their packets to the pool as it does for every delivered packet.
 func (s *Sender) Close() {
 	s.done = true
 	s.timer.Stop()
 	s.host.Unregister(s.flowID, s.subflow)
+	s.maps = nil
+	s.sacked = SeqSet{}
+	s.sackRetx = nil
+	s.OnAllAcked = nil
+	s.OnCongestionEvent = nil
+	s.OnPersistentRTO = nil
 }

@@ -513,3 +513,84 @@ func TestSenderAccessors(t *testing.T) {
 		t.Error("closed receiver still claims packets")
 	}
 }
+
+// TestSenderCloseReleasesResources closes a sender mid-recovery — RTO
+// timer armed, a dropped segment under SACK repair, segments still in
+// flight — and verifies the teardown contract subflow re-dialing relies
+// on: the timer is cancelled, retransmission state is released for the
+// garbage collector, the sender never transmits again, and every pooled
+// packet the flow put on the wire drains back to the free list.
+func TestSenderCloseReleasesResources(t *testing.T) {
+	tn := newTestNet()
+	pool := netem.NewPacketPool()
+	tn.a.SetPool(pool)
+	tn.b.SetPool(pool)
+
+	cfg := DefaultConfig()
+	const size = 1 << 20
+	rcv := NewReceiver(tn.eng, cfg, tn.b, 1, size)
+	snd := NewSender(tn.eng, cfg, SenderOptions{
+		Host:       tn.a,
+		Dst:        tn.b.ID(),
+		FlowID:     1,
+		SrcPort:    10000,
+		DstPort:    80,
+		Source:     &BytesSource{Size: size},
+		EnableSACK: true,
+	})
+	snd.OnAllAcked = func() {}
+	snd.OnCongestionEvent = func() {}
+	snd.OnPersistentRTO = func() {}
+
+	// Drop one mid-window data segment so the sender is holding SACK
+	// scoreboard state when it is torn down.
+	dropped := false
+	tn.w.drop = func(p *netem.Packet) bool {
+		if p.IsData() && !dropped && p.Seq > 20000 {
+			dropped = true
+			pool.Put(p) // the drop makes the wire the packet's terminal owner
+			return true
+		}
+		return false
+	}
+	snd.Start()
+	tn.eng.RunUntil(2 * sim.Millisecond)
+
+	if !snd.timer.Active() {
+		t.Fatal("precondition: RTO timer should be armed mid-flow")
+	}
+	sent := snd.Stats.SegmentsSent
+	snd.Close()
+
+	if snd.timer.Active() {
+		t.Error("Close must cancel the RTO timer")
+	}
+	if !snd.Done() {
+		t.Error("Close must mark the sender done")
+	}
+	if snd.maps != nil || snd.sackRetx != nil {
+		t.Error("Close must release mapping and SACK-retransmit state")
+	}
+	if len(snd.sacked.ivs) != 0 {
+		t.Error("Close must clear the SACK scoreboard")
+	}
+	if snd.OnAllAcked != nil || snd.OnCongestionEvent != nil || snd.OnPersistentRTO != nil {
+		t.Error("Close must drop callbacks (they pin the owning connection)")
+	}
+
+	// Drain the in-flight packets: data still on the wire is delivered
+	// and recycled by host b, and the resulting ACKs come back to host a
+	// unclaimed, where the host recycles them. Nothing is transmitted
+	// and no timer fires after Close.
+	tn.eng.Run()
+	if snd.Stats.SegmentsSent != sent {
+		t.Errorf("sender transmitted after Close: %d -> %d segments", sent, snd.Stats.SegmentsSent)
+	}
+	if tn.a.Unclaimed == 0 {
+		t.Error("expected late ACKs to arrive unclaimed after Close")
+	}
+	rcv.Close()
+	if pool.Gets != pool.Recycled {
+		t.Errorf("packet leak: %d allocated from the pool, %d recycled", pool.Gets, pool.Recycled)
+	}
+}

@@ -50,6 +50,9 @@ const (
 	KindDampExpire                 // a=pending invalidations replayed
 	KindFaultInject                // a=fault kind code
 	KindFaultRepair                // a=fault kind code
+	KindSubflowDead                // a=consecutive RTOs, b=bytes acked at death
+	KindSubflowRedial              // a=new src port, b=attempt number
+	KindPhaseDefer                 // a=deferrals so far, b=1 if forced by MaxDefer
 	numKinds
 )
 
@@ -65,6 +68,7 @@ var kindNames = [numKinds]string{
 	"recompute-start", "recompute-end", "fib-flip",
 	"damp-defer", "damp-expire",
 	"fault-inject", "fault-repair",
+	"subflow-dead", "subflow-redial", "phase-defer",
 }
 
 func (k Kind) String() string {

@@ -101,6 +101,62 @@ type RoutingConfig struct {
 	FlapThreshold int
 }
 
+// TransportConfig is the transport-recovery section of Config: whether
+// and how the transports react to persistent path failures instead of
+// backing off on RTOs until repair. The zero value is off — recovery
+// disabled — and off really is off: no extra RNG draws, no extra engine
+// events, results byte-identical to builds without the subsystem (the
+// recovery-off byte-identity suite pins this).
+//
+// With DeadRTOs > 0, an MPTCP/MMPTCP subflow that fires that many
+// consecutive RTOs without an intervening new ACK is declared dead: its
+// sender is closed, its unacknowledged data-level allocation migrates
+// back to the connection for re-pull, and a replacement subflow is
+// dialed on a fresh randomised source port — re-hashing the 5-tuple
+// onto a hopefully-live ECMP path — re-entering LIA coupling. Repeat
+// deaths of the same subflow slot back off capped-exponentially
+// (RedialBackoff base), and each connection spends at most RedialBudget
+// re-dial attempts. Plain TCP and DCTCP have one path and never
+// re-dial; the knobs are accepted under any protocol so one experiment
+// config can compare transports.
+//
+// Determinism: replacement source ports are drawn from the
+// connection's own per-flow RNG stream, consumed in event order, so
+// recovery-on runs are deterministic per (Seed, Shards) and recovery
+// stays out of every other flow's draw sequence.
+type TransportConfig struct {
+	// DeadRTOs is the consecutive-RTO threshold declaring a subflow's
+	// path dead. Zero disables recovery; negative is rejected.
+	DeadRTOs int
+	// RedialBackoff is the base delay between repeated re-dials of the
+	// same subflow slot: the first replacement dials immediately, the
+	// k-th waits min(RedialBackoff << (k-2), 16*RedialBackoff).
+	// Defaults to 10ms when DeadRTOs is set; setting it with recovery
+	// off is rejected.
+	RedialBackoff SimTime
+	// RedialBudget caps re-dial attempts per connection; defaults to 4
+	// when DeadRTOs is set. A connection out of budget leaves its
+	// stalled subflows backing off as if recovery were off. Setting it
+	// with recovery off is rejected.
+	RedialBudget int
+	// DeferPhaseSwitch holds MMPTCP's packet-scatter→subflow switch
+	// open while the routing control plane reports an unconverged state
+	// (pending recompute, hold-down, or staged FIB flips), so fresh
+	// subflows are not pinned onto mid-flip tables. Requires
+	// Routing.Mode global — local repair exposes no convergence signal.
+	DeferPhaseSwitch bool
+	// MaxDefer bounds the deferral: the switch is forced this long
+	// after the first postponement even under sustained churn. Defaults
+	// to 50ms when DeferPhaseSwitch is set; setting it without
+	// DeferPhaseSwitch is rejected.
+	MaxDefer SimTime
+}
+
+// Active reports whether any recovery mechanism is armed.
+func (t TransportConfig) Active() bool {
+	return t.DeadRTOs > 0 || t.DeferPhaseSwitch
+}
+
 // MetricsMode selects how Run accumulates per-flow measurements.
 type MetricsMode string
 
@@ -290,6 +346,12 @@ type Config struct {
 	// path is identical in every mode.
 	Routing RoutingConfig
 
+	// Transport arms transport-layer failure recovery — subflow
+	// re-dialing after persistent RTOs and convergence-aware phase
+	// switching; see TransportConfig. The zero value disables both and
+	// leaves every run byte-identical to builds without the subsystem.
+	Transport TransportConfig
+
 	// Metrics selects exact vs streaming measurement accumulation and
 	// optional rolling snapshots; see MetricsConfig. The zero value keeps
 	// per-flow records (the historical behaviour).
@@ -423,6 +485,42 @@ func (c *Config) applyDefaults() error {
 		if c.Routing.HoldDown > 0 {
 			return fmt.Errorf("mmptcp: Routing.HoldDown requires Routing.Mode %q (local repair has no control plane to damp)", RoutingGlobal)
 		}
+	}
+	// Transport recovery: value rules first, then the knobs-while-off
+	// rejections (a backoff or budget on disabled recovery would
+	// silently do nothing), then the cross-field Mode rule, and only
+	// then the defaults for armed mechanisms.
+	if c.Transport.DeadRTOs < 0 {
+		return fmt.Errorf("mmptcp: negative Transport.DeadRTOs %d (0 disables recovery)", c.Transport.DeadRTOs)
+	}
+	if c.Transport.RedialBackoff < 0 {
+		return fmt.Errorf("mmptcp: negative Transport.RedialBackoff %v", c.Transport.RedialBackoff)
+	}
+	if c.Transport.RedialBudget < 0 {
+		return fmt.Errorf("mmptcp: negative Transport.RedialBudget %d", c.Transport.RedialBudget)
+	}
+	if c.Transport.MaxDefer < 0 {
+		return fmt.Errorf("mmptcp: negative Transport.MaxDefer %v", c.Transport.MaxDefer)
+	}
+	if c.Transport.DeadRTOs == 0 && (c.Transport.RedialBackoff != 0 || c.Transport.RedialBudget != 0) {
+		return fmt.Errorf("mmptcp: Transport.RedialBackoff/RedialBudget set but Transport.DeadRTOs is 0 (re-dialing off)")
+	}
+	if !c.Transport.DeferPhaseSwitch && c.Transport.MaxDefer != 0 {
+		return fmt.Errorf("mmptcp: Transport.MaxDefer set but Transport.DeferPhaseSwitch is off")
+	}
+	if c.Transport.DeferPhaseSwitch && mode != RoutingGlobal {
+		return fmt.Errorf("mmptcp: Transport.DeferPhaseSwitch requires Routing.Mode %q (local repair exposes no convergence signal)", RoutingGlobal)
+	}
+	if c.Transport.DeadRTOs > 0 {
+		if c.Transport.RedialBackoff == 0 {
+			c.Transport.RedialBackoff = 10 * sim.Millisecond
+		}
+		if c.Transport.RedialBudget == 0 {
+			c.Transport.RedialBudget = 4
+		}
+	}
+	if c.Transport.DeferPhaseSwitch && c.Transport.MaxDefer == 0 {
+		c.Transport.MaxDefer = 50 * sim.Millisecond
 	}
 	if c.Faults.ReconvergeDelay < 0 {
 		return fmt.Errorf("mmptcp: negative Faults.ReconvergeDelay %v", c.Faults.ReconvergeDelay)

@@ -129,3 +129,31 @@ func StaggeredChurnBenchConfig(quick bool) Config {
 	cfg.Routing.PerHopDelay = 2 * Millisecond
 	return cfg
 }
+
+// RedialChurnBenchConfig is the tracked transport-recovery scenario
+// shared with cmd/bench's recovery rows: a multipath workload under
+// local repair with a mid-run agg-core outage, so subflows pinned
+// through the unreachable cores sit in RTO backoff until re-dialing
+// replaces them — the work the recovery machinery exists for. With
+// recovery false the identical scenario runs with the machinery
+// disarmed; that row is the no-regression baseline the CI guard holds
+// against the tracked BENCH.json, since arming the knobs must cost
+// nothing until a re-dial actually fires.
+func RedialChurnBenchConfig(recovery, quick bool) Config {
+	var cfg Config
+	if quick {
+		cfg = SmallConfig(ProtoMPTCP, 40)
+	} else {
+		cfg = PaperConfig(ProtoMPTCP, 80)
+	}
+	cfg.MaxSimTime = 10 * Second
+	cfg.Seed = 1
+	cfg.Faults = FaultsConfig{
+		Events:          FailCables(LayerAgg, 2, 150*Millisecond, 2500*Millisecond),
+		ReconvergeDelay: 25 * Millisecond,
+	}
+	if recovery {
+		cfg.Transport = TransportConfig{DeadRTOs: 2, RedialBudget: 8}
+	}
+	return cfg
+}

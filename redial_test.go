@@ -1,0 +1,249 @@
+package mmptcp
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// deadPathFCT runs one cross-pod MPTCP flow (63 -> 0 on the small K=4
+// tree) under a single agg-core cable cut that leaves core 0 with no way
+// into pod 0 — the persistent-blackhole case local repair cannot heal,
+// because the re-hash decision sits at the sender-side agg switches that
+// never learn about the failure. Any subflow whose ports hash through
+// core 0 is dead from 30ms until the 5s repair. Returns the flow's
+// completion time and its re-dial accounting.
+func deadPathFCT(t *testing.T, transport TransportConfig) (sim.Time, int, int) {
+	t.Helper()
+	eng := NewEngine()
+	cfg := tiny(ProtoMPTCP, 1)
+	cfg.Transport = transport
+	net, err := NewNetwork(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faults.Install(eng, faults.Target{
+		Links: net.Links, Switches: net.Switches, SwitchLayers: net.SwitchLayers,
+	}, faults.Config{
+		Events:          faults.FailCables(netem.LayerAgg, 1, 30*sim.Millisecond, 5*sim.Second),
+		ReconvergeDelay: 25 * sim.Millisecond,
+	}, NewRNG(1), 10*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetDegraded(inj.Degraded)
+
+	conn, err := Dial(eng, net, cfg, DialConfig{
+		FlowID: 1,
+		Src:    len(net.Hosts) - 1,
+		Dst:    0,
+		Size:   4 << 20,
+		RNG:    NewRNGStream(1, 7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Start()
+	eng.Run()
+	if !conn.Receiver().Complete() {
+		t.Fatal("flow never completed")
+	}
+	fct := conn.Receiver().CompletedAt
+	redials, recovered := conn.RedialStats()
+	conn.Close()
+	return fct, redials, recovered
+}
+
+// TestRedialRecoversFromDeadPath is the tentpole's acceptance shape:
+// with re-dialing off, a subflow pinned through the unreachable core
+// waits out the whole outage in RTO backoff and the flow completes only
+// after the 5s repair; with re-dialing on, the persistent-RTO escape
+// tears the subflow down after two back-to-back timeouts, the
+// replacement's fresh source port re-hashes onto a live core, and the
+// flow finishes an order of magnitude earlier.
+func TestRedialRecoversFromDeadPath(t *testing.T) {
+	off, offRedials, _ := deadPathFCT(t, TransportConfig{})
+	if offRedials != 0 {
+		t.Fatalf("recovery off reported %d redials", offRedials)
+	}
+	if off < 5*sim.Second {
+		t.Fatalf("baseline FCT %v finished before the 5s repair; no subflow was pinned through the dead core and the scenario exercises nothing", off)
+	}
+
+	on, redials, recovered := deadPathFCT(t, TransportConfig{DeadRTOs: 2, RedialBudget: 8})
+	t.Logf("FCT off=%v on=%v redials=%d recovered=%d", off, on, redials, recovered)
+	if redials == 0 || recovered == 0 {
+		t.Fatalf("recovery on: redials=%d recovered=%d, want both > 0", redials, recovered)
+	}
+	if on >= off/2 {
+		t.Errorf("re-dialing FCT %v not well under the RTO-backoff baseline %v", on, off)
+	}
+	if on >= 2500*sim.Millisecond {
+		t.Errorf("re-dialing FCT %v; want completion long before the 5s repair", on)
+	}
+}
+
+// redialSweepConfigs is the determinism suite for transport recovery:
+// the PR-3 fault scenarios with re-dialing armed on both multipath
+// transports, plus an MMPTCP config whose phase switches defer behind a
+// staggered convergence window opened by an early cable cut.
+func redialSweepConfigs() []Config {
+	var configs []Config
+	for _, proto := range []Protocol{ProtoMPTCP, ProtoMMPTCP} {
+		cfg := tiny(proto, 40)
+		cfg.MaxSimTime = 20 * Second
+		cfg.Faults = FaultsConfig{
+			Events:          FailCables(LayerAgg, 2, 150*Millisecond, 2500*Millisecond),
+			ReconvergeDelay: 25 * Millisecond,
+		}
+		cfg.Transport = TransportConfig{DeadRTOs: 2, RedialBudget: 8}
+		configs = append(configs, cfg)
+	}
+	defer1 := tiny(ProtoMMPTCP, 40)
+	defer1.MaxSimTime = 20 * Second
+	// The cut lands at 2ms so the staggered convergence window is open
+	// while the long flows cross SwitchBytes (~8ms in): their phase
+	// switches actually defer.
+	defer1.Faults = FaultsConfig{
+		Events:          FailCables(LayerAgg, 1, 2*Millisecond, 600*Millisecond),
+		ReconvergeDelay: 20 * Millisecond,
+	}
+	defer1.Routing = RoutingConfig{
+		Mode:        RoutingGlobal,
+		Convergence: ConvergeStaggered,
+		PerHopDelay: 5 * Millisecond,
+	}
+	defer1.Transport = TransportConfig{DeadRTOs: 2, DeferPhaseSwitch: true, MaxDefer: 40 * Millisecond}
+	configs = append(configs, defer1)
+	return configs
+}
+
+// TestRedialDeterminism locks in the tentpole's determinism contract:
+// with recovery on, replacement source ports come from each flow's
+// private RNG stream in event order, so a recovering sweep is
+// byte-identical serial vs parallel and fresh vs pooled.
+func TestRedialDeterminism(t *testing.T) {
+	serial, err := RunSweep(redialSweepConfigs(), SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunSweep(redialSweepConfigs(), SweepOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := RunSweep(redialSweepConfigs(), SweepOptions{Workers: 4, Pool: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("config %d: recovering sweep diverged between 1 and 4 workers", i)
+		}
+		if !reflect.DeepEqual(serial[i], pooled[i]) {
+			t.Errorf("config %d: recovering sweep diverged between fresh and pooled instances", i)
+		}
+	}
+	// The dynamics actually ran: the local-repair configs re-dialed and
+	// the staggered config deferred phase switches.
+	for i, res := range serial[:2] {
+		if res.Redials == 0 {
+			t.Errorf("config %d re-dialed nothing under a 2.35s outage", i)
+		}
+	}
+	if serial[2].PhaseDeferrals == 0 {
+		t.Error("staggered config deferred no phase switches")
+	}
+}
+
+// TestRecoveryOffByteIdentity pins the zero-cost contract: arming
+// DeadRTOs changes neither the RNG draw sequence nor the event schedule
+// until a re-dial actually fires, so a healthy run with recovery armed
+// is byte-identical to the same run with recovery off.
+func TestRecoveryOffByteIdentity(t *testing.T) {
+	off, err := Run(tiny(ProtoMPTCP, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	armed := tiny(ProtoMPTCP, 40)
+	armed.Transport = TransportConfig{DeadRTOs: 3}
+	on, err := Run(armed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Redials != 0 {
+		t.Fatalf("healthy run re-dialed %d times; the identity check needs a redial-free scenario", on.Redials)
+	}
+	off.Config, on.Config = Config{}, Config{}
+	if !reflect.DeepEqual(off, on) {
+		t.Error("healthy run diverged between recovery off and recovery armed")
+	}
+}
+
+// alwaysOpen is a convergence observer that never quiesces — the
+// worst-case churn signal for the phase-switch deferral bound.
+type alwaysOpen struct{}
+
+func (alwaysOpen) ConvergenceOpen() bool { return true }
+
+// TestDeferPhaseSwitchBounded drives one MMPTCP flow against an
+// observer reporting permanently-open convergence and checks MaxDefer is
+// a hard bound: the switch still happens, exactly MaxDefer after the
+// first deferred attempt, after a non-trivial number of re-checks.
+func TestDeferPhaseSwitchBounded(t *testing.T) {
+	const maxDefer = 40 * sim.Millisecond
+	run := func(observer ConvergenceObserver, transport TransportConfig) (sim.Time, int) {
+		eng := NewEngine()
+		cfg := tiny(ProtoMMPTCP, 1)
+		cfg.Transport = transport
+		if transport.DeferPhaseSwitch {
+			cfg.Routing.Mode = RoutingGlobal
+		}
+		net, err := NewNetwork(eng, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var obs = DialConfig{
+			FlowID:   1,
+			Src:      0,
+			Dst:      len(net.Hosts) - 1,
+			Size:     1 << 20,
+			RNG:      NewRNGStream(1, 7),
+			Observer: nil,
+		}
+		if observer != nil {
+			obs.Observer = alwaysOpen{}
+		}
+		conn, err := Dial(eng, net, cfg, obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Start()
+		eng.Run()
+		mc, ok := MMPTCPConn(conn)
+		if !ok {
+			t.Fatal("not an MMPTCP connection")
+		}
+		if !mc.Switched() {
+			t.Fatal("flow never entered phase two")
+		}
+		at, deferrals := mc.SwitchedAt(), mc.Deferrals()
+		conn.Close()
+		return at, deferrals
+	}
+
+	base, baseDefers := run(nil, TransportConfig{})
+	if baseDefers != 0 {
+		t.Fatalf("undeferred run recorded %d deferrals", baseDefers)
+	}
+	at, deferrals := run(alwaysOpen{}, TransportConfig{DeferPhaseSwitch: true, MaxDefer: maxDefer})
+	t.Logf("switch at %v undeferred, %v under open convergence (%d deferrals)", base, at, deferrals)
+	if deferrals < 2 {
+		t.Errorf("deferrals = %d, want repeated re-checks before the forced switch", deferrals)
+	}
+	if at != base+maxDefer {
+		t.Errorf("deferred switch at %v, want exactly MaxDefer past the undeferred switch at %v", at, base+maxDefer)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/netem"
@@ -90,7 +91,18 @@ type Results struct {
 	Routing metrics.RoutingStats
 
 	// PhaseSwitches counts MMPTCP connections that entered phase two.
-	PhaseSwitches int
+	// PhaseDeferrals counts the times long-flow connections postponed
+	// that switch waiting for routing convergence to quiesce
+	// (Config.Transport.DeferPhaseSwitch).
+	PhaseSwitches  int
+	PhaseDeferrals int
+
+	// Redials counts subflow re-dial attempts across every connection
+	// (Config.Transport.DeadRTOs > 0), and RedialRecovered how many of
+	// the replacement subflows went on to acknowledge data — i.e. found
+	// a live path. Both zero with recovery off.
+	Redials         int
+	RedialRecovered int
 
 	Elapsed sim.Time // virtual time when the run ended
 	Events  uint64   // discrete events processed
@@ -336,6 +348,15 @@ func runWith(ctx context.Context, cfg Config, inst *RunInstance) (*Results, erro
 			faultPlan.OnRouteChange = controlPlane.Invalidate
 		}
 	}
+	// The convergence signal MMPTCP's deferred phase switch consults.
+	// Assigned only when a control plane exists (validation already
+	// requires Routing.Mode global for DeferPhaseSwitch, but the control
+	// plane is only installed when faults are active — a fault-free
+	// deferring run simply observes a forever-closed window).
+	var observer core.ConvergenceObserver
+	if controlPlane != nil {
+		observer = controlPlane
+	}
 
 	// Streaming accumulation: the streaming metrics mode's only
 	// aggregate, and the snapshot time series' percentile source in
@@ -364,6 +385,19 @@ func runWith(ctx context.Context, cfg Config, inst *RunInstance) (*Results, erro
 
 	res := &Results{Config: cfg, Layers: make(map[netem.Layer]metrics.LayerStats)}
 
+	// foldRedials accumulates a connection's re-dial and phase-deferral
+	// accounting just before the connection is closed (afterwards the
+	// subflow senders are torn down). With recovery off every call
+	// returns zeros.
+	foldRedials := func(c Conn) {
+		r, rc := c.RedialStats()
+		res.Redials += r
+		res.RedialRecovered += rc
+		if mc, ok := MMPTCPConn(c); ok {
+			res.PhaseDeferrals += mc.Deferrals()
+		}
+	}
+
 	// Long background flows: start at t=0, run for the whole
 	// simulation.
 	type longFlow struct {
@@ -390,6 +424,7 @@ func runWith(ctx context.Context, cfg Config, inst *RunInstance) (*Results, erro
 			Size:     -1,
 			RNG:      rootRNG.Split(),
 			Recorder: flowRec,
+			Observer: observer,
 		})
 		if err != nil {
 			return nil, err
@@ -436,6 +471,7 @@ func runWith(ctx context.Context, cfg Config, inst *RunInstance) (*Results, erro
 		conn, err := Dial(eng, net, cfg, DialConfig{
 			FlowID: id, Src: src, Dst: dst, Size: size, RNG: rootRNG.Split(),
 			Recorder: flowRec,
+			Observer: observer,
 		})
 		if err != nil {
 			panic(err) // config was validated; this cannot happen
@@ -471,6 +507,7 @@ func runWith(ctx context.Context, cfg Config, inst *RunInstance) (*Results, erro
 			fab.Defer(fab.HostShard(src), func(sim.Time) {
 				// Sender finished too: snapshot stats and free endpoints.
 				sf.fill()
+				foldRedials(sf.conn)
 				sf.conn.Close()
 				sf.conn = nil
 				if stream != nil {
@@ -526,6 +563,7 @@ func runWith(ctx context.Context, cfg Config, inst *RunInstance) (*Results, erro
 		for _, sf := range shorts {
 			if sf.conn != nil {
 				sf.fill()
+				foldRedials(sf.conn)
 				sf.conn.Close()
 				sf.conn = nil
 			}
@@ -539,6 +577,7 @@ func runWith(ctx context.Context, cfg Config, inst *RunInstance) (*Results, erro
 			sf := shorts[id]
 			if sf.conn != nil { // still open at sim end
 				sf.fill()
+				foldRedials(sf.conn)
 				sf.conn.Close()
 				sf.conn = nil
 			}
@@ -561,6 +600,7 @@ func runWith(ctx context.Context, cfg Config, inst *RunInstance) (*Results, erro
 		if mc, ok := MMPTCPConn(lf.conn); ok && mc.Switched() {
 			res.PhaseSwitches++
 		}
+		foldRedials(lf.conn)
 		lf.conn.Close()
 		tputSum += lf.rec.ThroughputMbps(res.Elapsed)
 		res.LongFlows = append(res.LongFlows, lf.rec)
