@@ -1,0 +1,108 @@
+// Shardprof profiles the sharded engine's synchronization overhead —
+// the observability walkthrough for the adaptive-lookahead work. It
+// runs the quiet-boundary scenario (mmptcp.ShardQuietBenchConfig:
+// rack-local short flows, sparse arrivals, no long-flow background — a
+// workload whose shard boundaries sit idle between bursts) once under
+// conservative lookahead and once under adaptive, writing a CPU
+// profile of each run, and prints the coordinator's synchronization
+// counters side by side.
+//
+// The conservative profile is what motivated adaptive lookahead: with
+// the window pinned to the minimum boundary-cable propagation delay,
+// most barriers flush empty outboxes, and the profile's hot symbols
+// are the coordinator loop and the worker channel handshake —
+// shard.(*Fabric).runWindow, runtime.chansend/chanrecv/park — rather
+// than the simulation itself (sim.(*Engine).RunUntil and the transport
+// callbacks under it). Adaptive widens the windows to the shards' EOT
+// promises and elides idle shards from the barrier entirely, so the
+// same workload commits a fraction of the barriers and the profile's
+// weight shifts back into RunUntil. Compare:
+//
+//	go run ./examples/shardprof [shards]
+//	go tool pprof -top shard-conservative.pprof | head -20
+//	go tool pprof -top shard-adaptive.pprof | head -20
+//
+// or diff the two interactively with
+// `go tool pprof -base shard-conservative.pprof shard-adaptive.pprof`.
+// The printed table carries the virtual-time facts (barriers, windows,
+// elided wakeups, mean window width — deterministic per seed and shard
+// count); the wall-clock column is hardware-dependent and only the
+// ratio between the two modes means anything. On a box with fewer
+// cores than shards, expect adaptive to win on barrier count but not
+// necessarily on wall time — there is nothing to parallelise across.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+import (
+	mmptcp "repro"
+	"repro/internal/prof"
+)
+
+func main() {
+	shards := 2
+	if len(os.Args) > 1 {
+		n, err := strconv.Atoi(os.Args[1])
+		if err != nil || n < 2 {
+			log.Fatalf("bad shard count %q (need an integer >= 2)", os.Args[1])
+		}
+		shards = n
+	}
+
+	fmt.Printf("quiet-boundary scenario (rack-local shorts, sparse arrivals), %d shards, %d cores\n\n",
+		shards, runtime.GOMAXPROCS(0))
+
+	type row struct {
+		mode mmptcp.LookaheadMode
+		out  string
+	}
+	rows := []row{
+		{mmptcp.LookaheadConservative, "shard-conservative.pprof"},
+		{mmptcp.LookaheadAdaptive, "shard-adaptive.pprof"},
+	}
+
+	fmt.Printf("%-14s %9s %10s %10s %8s %8s %12s %10s\n",
+		"mode", "wall_ms", "barriers", "windows", "elided", "widened", "window_us", "Mev/s")
+	var consBarriers uint64
+	var consWall time.Duration
+	for _, r := range rows {
+		cfg := mmptcp.ShardQuietBenchConfig(shards, false)
+		cfg.Lookahead = r.mode
+
+		stop, err := prof.Start(r.out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		res, err := mmptcp.Run(cfg)
+		wall := time.Since(t0)
+		stop()
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		s := res.Shard
+		fmt.Printf("%-14s %9.0f %10d %10d %8d %8d %12.1f %10.2f\n",
+			s.Mode, float64(wall.Milliseconds()), s.Barriers, s.Windows,
+			s.ElidedWakeups, s.WidenedWindows, s.MeanWindowNs/1e3,
+			float64(res.Events)/wall.Seconds()/1e6)
+		if r.mode == mmptcp.LookaheadConservative {
+			consBarriers, consWall = s.Barriers, wall
+		} else {
+			fmt.Printf("\nbarrier_ratio %.2fx (virtual-time fact), wall %.2fx\n",
+				float64(consBarriers)/float64(s.Barriers),
+				float64(consWall)/float64(wall))
+		}
+	}
+
+	fmt.Printf("\nprofiles written: %s, %s\n", rows[0].out, rows[1].out)
+	fmt.Println("inspect with:  go tool pprof -top shard-conservative.pprof")
+	fmt.Println("diff with:     go tool pprof -base shard-conservative.pprof shard-adaptive.pprof")
+}

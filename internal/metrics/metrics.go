@@ -241,6 +241,36 @@ type RoutingStats struct {
 	Damped           int
 }
 
+// ShardStats is the parallel engine's synchronization accounting — the
+// Results "Shard" block. On a sequential (direct) run only Shards is
+// set (to 1) and Mode is empty; on a partitioned run the counters
+// describe the coordinator's barrier work and are deterministic per
+// (Seed, Shards, lookahead mode).
+type ShardStats struct {
+	// Shards is the engine count the run executed on (1 = sequential).
+	Shards int
+	// Mode is the lookahead policy ("conservative" or "adaptive");
+	// empty on a sequential run, which has no synchronization window.
+	Mode string
+	// LookaheadNs is the conservative window bound: the minimum
+	// propagation delay across shard-boundary links, in nanoseconds.
+	LookaheadNs int64
+	// Barriers counts coordinator barriers (every flush + window/control
+	// decision); ControlTurns of them ran the control plane, Windows
+	// dispatched a parallel window.
+	Barriers     uint64
+	ControlTurns uint64
+	Windows      uint64
+	// ElidedWakeups counts shard-window slots skipped without a channel
+	// round-trip (the shard had nothing below its window edge).
+	ElidedWakeups uint64
+	// WidenedWindows counts windows whose edge exceeded the conservative
+	// bound — nonzero only in adaptive mode.
+	WidenedWindows uint64
+	// MeanWindowNs is the mean parallel-window width in nanoseconds.
+	MeanWindowNs float64
+}
+
 // LayerStats aggregates link counters at one topology layer.
 type LayerStats struct {
 	Links       int

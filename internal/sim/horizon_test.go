@@ -1,0 +1,58 @@
+package sim
+
+import "testing"
+
+// TestPeekHorizon pins the earliest-output-time primitive: next event
+// time plus delay, saturating at MaxTime for empty queues and for sums
+// that would overflow.
+func TestPeekHorizon(t *testing.T) {
+	e := NewEngine()
+	if got := e.PeekHorizon(Millisecond); got != MaxTime {
+		t.Errorf("empty queue: PeekHorizon = %v, want MaxTime", got)
+	}
+	ev := e.At(5*Millisecond, func() {})
+	if got, want := e.PeekHorizon(2*Millisecond), 7*Millisecond; got != want {
+		t.Errorf("PeekHorizon = %v, want %v", got, want)
+	}
+	if got := e.PeekHorizon(MaxTime - Millisecond); got != MaxTime {
+		t.Errorf("near-overflow sum: PeekHorizon = %v, want MaxTime", got)
+	}
+	// A cancelled head must not anchor the promise.
+	ev.Cancel()
+	if got := e.PeekHorizon(Millisecond); got != MaxTime {
+		t.Errorf("cancelled head: PeekHorizon = %v, want MaxTime", got)
+	}
+	e.At(9*Millisecond, func() {})
+	if got, want := e.PeekHorizon(0), 9*Millisecond; got != want {
+		t.Errorf("zero delay: PeekHorizon = %v, want %v", got, want)
+	}
+}
+
+// TestAtArgKeyedOrdering pins the keyed tie-break: same-time keyed
+// events fire after all same-time sequence-ordered events and among
+// themselves in key order, regardless of insertion order.
+func TestAtArgKeyedOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	rec := func(arg any) { got = append(got, arg.(int)) }
+	const at = 3 * Millisecond
+	top := uint64(1) << 63
+	// Insert in an order hostile to the desired firing order: high key
+	// first, locals interleaved.
+	e.AtArgKeyed(at, rec, 12, top|7, 0)
+	e.AtArg(at, rec, 1)
+	e.AtArgKeyed(at, rec, 11, top|2, 0)
+	e.AtArg(at, rec, 2)
+	e.AtArgKeyed(at, rec, 10, top, 0)
+	e.AtArg(at, rec, 3)
+	e.Run()
+	want := []int{1, 2, 3, 10, 11, 12}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("firing order %v, want %v", got, want)
+		}
+	}
+}

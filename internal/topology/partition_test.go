@@ -1,0 +1,166 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestSplitWeightedNonEmptyGroups: splitWeighted must keep every group
+// non-empty no matter how skewed the weights are — a profiling run that
+// concentrates all load on one hotspot switch degrades balance, never
+// validity.
+func TestSplitWeightedNonEmptyGroups(t *testing.T) {
+	cases := []struct {
+		name string
+		m, s int
+		w    func(int) float64
+	}{
+		{"uniform", 12, 4, func(int) float64 { return 1 }},
+		{"front-loaded", 10, 5, func(i int) float64 {
+			if i == 0 {
+				return 1e9
+			}
+			return 0
+		}},
+		{"back-loaded", 10, 5, func(i int) float64 {
+			if i == 9 {
+				return 1e9
+			}
+			return 0
+		}},
+		{"all-zero", 8, 3, func(int) float64 { return 0 }},
+		{"tight", 4, 4, func(i int) float64 { return float64(i * i) }},
+	}
+	for _, c := range cases {
+		out := splitWeighted(c.m, c.s, c.w)
+		if len(out) != c.m {
+			t.Fatalf("%s: %d assignments for %d items", c.name, len(out), c.m)
+		}
+		seen := make([]bool, c.s)
+		prev := 0
+		for i, g := range out {
+			if g < 0 || g >= c.s {
+				t.Fatalf("%s: item %d in group %d of %d", c.name, i, g, c.s)
+			}
+			if g < prev || g > prev+1 {
+				t.Fatalf("%s: groups not contiguous at item %d (%d after %d)", c.name, i, g, prev)
+			}
+			prev = g
+			seen[g] = true
+		}
+		for g, ok := range seen {
+			if !ok {
+				t.Errorf("%s: group %d empty", c.name, g)
+			}
+		}
+	}
+}
+
+// TestSplitWeightedBalances: with one dominant item the weighted split
+// should isolate it rather than cut by count.
+func TestSplitWeightedBalances(t *testing.T) {
+	// Item 5 carries half the total weight of 10 items split in two: it
+	// completes the first group's share, so the boundary lands right
+	// after it instead of at the count midpoint (item 5).
+	w := func(i int) float64 {
+		if i == 5 {
+			return 9
+		}
+		return 1
+	}
+	out := splitWeighted(10, 2, w)
+	if out[5] != 0 || out[6] != 1 {
+		t.Errorf("boundary not placed by weight: %v", out)
+	}
+}
+
+// TestPartitionWeightedValidation covers the weighted partitioner's
+// refusals and fallbacks.
+func TestPartitionWeightedValidation(t *testing.T) {
+	ft := NewFatTree(sim.NewEngine(), FatTreeConfig{K: 4, Link: DefaultLinkConfig()})
+	n := &ft.Network
+	ns := len(ft.Switches)
+
+	if _, err := PartitionWeighted(n, 2, make([]float64, ns-1)); err == nil {
+		t.Error("accepted weight vector shorter than switch count")
+	}
+	bad := make([]float64, ns)
+	bad[3] = -1
+	if _, err := PartitionWeighted(n, 2, bad); err == nil {
+		t.Error("accepted negative weight")
+	}
+	// All-zero weights carry no signal: identical to the unweighted path.
+	zero, err := PartitionWeighted(n, 2, make([]float64, ns))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Partition(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(zero, plain) {
+		t.Errorf("all-zero weights diverge from unweighted partition:\n%v\n%v", zero, plain)
+	}
+}
+
+// TestPartitionWeightedFatTree: weighting moves pod-group boundaries but
+// never cuts a pod, and the result is deterministic.
+func TestPartitionWeightedFatTree(t *testing.T) {
+	ft := NewFatTree(sim.NewEngine(), FatTreeConfig{K: 4, Link: DefaultLinkConfig()})
+	n := &ft.Network
+	// K=4: 8 edges, 8 aggs (2 per pod each), 4 cores. Load pod 3's edge
+	// switches so heavily it deserves a shard of its own.
+	w := make([]float64, len(ft.Switches))
+	for i := range w {
+		w[i] = 1
+	}
+	w[6], w[7] = 1000, 1000 // pod 3's edges
+	a, err := PartitionWeighted(n, 2, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PartitionWeighted(n, 2, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("weighted partition is nondeterministic")
+	}
+	for pod := 0; pod < 4; pod++ {
+		shard := a[pod*2]
+		for i := 0; i < 2; i++ {
+			if a[pod*2+i] != shard || a[8+pod*2+i] != shard {
+				t.Errorf("pod %d split across shards: %v", pod, a[:16])
+			}
+		}
+	}
+	// The loaded pod should sit alone on its shard while the three quiet
+	// pods share the other.
+	loaded := a[6]
+	for pod := 0; pod < 3; pod++ {
+		if a[pod*2] == loaded {
+			t.Errorf("quiet pod %d shares shard %d with the hotspot pod: %v", pod, loaded, a[:16])
+		}
+	}
+}
+
+// TestSwitchLoadsShape: the load vector is parallel to Switches and
+// reflects forwarding counters.
+func TestSwitchLoadsShape(t *testing.T) {
+	ft := NewFatTree(sim.NewEngine(), FatTreeConfig{K: 4, Link: DefaultLinkConfig()})
+	loads := ft.SwitchLoads()
+	if len(loads) != len(ft.Switches) {
+		t.Fatalf("%d loads for %d switches", len(loads), len(ft.Switches))
+	}
+	for i, l := range loads {
+		if l != 0 {
+			t.Errorf("fresh switch %d reports load %g", i, l)
+		}
+	}
+	ft.Switches[2].Forwarded = 42
+	if got := ft.SwitchLoads()[2]; got != 42 {
+		t.Errorf("SwitchLoads()[2] = %g, want 42", got)
+	}
+}

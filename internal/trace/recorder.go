@@ -53,6 +53,7 @@ const (
 	KindSubflowDead                // a=consecutive RTOs, b=bytes acked at death
 	KindSubflowRedial              // a=new src port, b=attempt number
 	KindPhaseDefer                 // a=deferrals so far, b=1 if forced by MaxDefer
+	KindWindowEdge                 // coordinator window; a=width (ns), b=elided shard wakeups
 	numKinds
 )
 
@@ -69,6 +70,7 @@ var kindNames = [numKinds]string{
 	"damp-defer", "damp-expire",
 	"fault-inject", "fault-repair",
 	"subflow-dead", "subflow-redial", "phase-defer",
+	"window-edge",
 }
 
 func (k Kind) String() string {
@@ -446,7 +448,8 @@ func chromeFromEvent(e Event) chromeEvent {
 			ID:   fmt.Sprintf("flow-%d/sf-%d", e.Flow, e.Sub),
 			Args: map[string]int64{"acked": e.A},
 		}
-	case KindFaultInject, KindFaultRepair, KindRecomputeStart, KindRecomputeEnd, KindDampExpire:
+	case KindFaultInject, KindFaultRepair, KindRecomputeStart, KindRecomputeEnd, KindDampExpire,
+		KindWindowEdge:
 		return chromeEvent{
 			Name: e.Kind.String(), Cat: "control", Ph: "i", Scope: "g",
 			Ts: ce.Ts, Pid: chromePidControl, Tid: 0,
